@@ -1,0 +1,160 @@
+//! Adaptive core sizes and their micro-architectural parameters.
+//!
+//! The paper's adaptive core can be reconfigured to three *balanced* sizes by
+//! deactivating sections of core components (issue ports, ROB banks,
+//! reservation-station entries, LSQ entries, functional units). Table I:
+//!
+//! | size | issue | ROB | RS  | LSQ |
+//! |------|-------|-----|-----|-----|
+//! | L    | 8     | 256 | 128 | 64  |
+//! | M    | 4     | 128 | 64  | 32  |
+//! | S    | 2     | 64  | 16  | 10  |
+
+use std::fmt;
+
+/// One of the three supported core configurations.
+///
+/// Ordered from smallest to largest so that `CoreSize::S < CoreSize::L`
+/// matches "fewer resources < more resources".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoreSize {
+    /// Small: 2-issue, 64-entry ROB.
+    S,
+    /// Medium: 4-issue, 128-entry ROB. This is the paper's baseline size.
+    M,
+    /// Large: 8-issue, 256-entry ROB.
+    L,
+}
+
+impl CoreSize {
+    /// All sizes in ascending resource order.
+    pub const ALL: [CoreSize; 3] = [CoreSize::S, CoreSize::M, CoreSize::L];
+
+    /// Number of distinct core sizes (3 in the paper).
+    pub const COUNT: usize = 3;
+
+    /// The paper's baseline core size (mid-range setting).
+    pub const BASELINE: CoreSize = CoreSize::M;
+
+    /// Dense index in `[0, COUNT)`: S → 0, M → 1, L → 2.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            CoreSize::S => 0,
+            CoreSize::M => 1,
+            CoreSize::L => 2,
+        }
+    }
+
+    /// Inverse of [`CoreSize::index`]. Returns `None` for indices ≥ 3.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Option<CoreSize> {
+        match idx {
+            0 => Some(CoreSize::S),
+            1 => Some(CoreSize::M),
+            2 => Some(CoreSize::L),
+            _ => None,
+        }
+    }
+
+    /// Micro-architectural parameters of this size (Table I).
+    #[inline]
+    pub const fn params(self) -> CoreParams {
+        match self {
+            CoreSize::S => CoreParams { issue_width: 2, rob: 64, rs: 16, lsq: 10 },
+            CoreSize::M => CoreParams { issue_width: 4, rob: 128, rs: 64, lsq: 32 },
+            CoreSize::L => CoreParams { issue_width: 8, rob: 256, rs: 128, lsq: 64 },
+        }
+    }
+
+    /// Dispatch width `D(c)` used by the performance model (Eq. 1).
+    #[inline]
+    pub const fn dispatch_width(self) -> u32 {
+        self.params().issue_width
+    }
+
+    /// Reorder-buffer size `ROB(c)` used by the leading-miss heuristic
+    /// (Fig. 4) and the timing model.
+    #[inline]
+    pub const fn rob(self) -> u32 {
+        self.params().rob
+    }
+}
+
+impl fmt::Display for CoreSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreSize::S => write!(f, "S"),
+            CoreSize::M => write!(f, "M"),
+            CoreSize::L => write!(f, "L"),
+        }
+    }
+}
+
+/// Micro-architectural sizing of one core configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreParams {
+    /// Instructions dispatched/issued/retired per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer entries.
+    pub rob: u32,
+    /// Reservation-station entries (scheduler window).
+    pub rs: u32,
+    /// Load/store-queue entries (bounds in-flight memory operations).
+    pub lsq: u32,
+}
+
+/// Instruction-index window used by the ATD leading-miss extension:
+/// four times the maximum ROB size (4 × 256 = 1024), requiring 10 bits.
+pub const INSTRUCTION_INDEX_WINDOW: u32 = 4 * 256;
+
+/// Bits needed to encode an instruction index (`log2(1024)`).
+pub const INSTRUCTION_INDEX_BITS: u32 = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters() {
+        assert_eq!(CoreSize::L.params(), CoreParams { issue_width: 8, rob: 256, rs: 128, lsq: 64 });
+        assert_eq!(CoreSize::M.params(), CoreParams { issue_width: 4, rob: 128, rs: 64, lsq: 32 });
+        assert_eq!(CoreSize::S.params(), CoreParams { issue_width: 2, rob: 64, rs: 16, lsq: 10 });
+    }
+
+    #[test]
+    fn baseline_is_medium() {
+        assert_eq!(CoreSize::BASELINE, CoreSize::M);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &c) in CoreSize::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(CoreSize::from_index(i), Some(c));
+        }
+        assert_eq!(CoreSize::from_index(3), None);
+    }
+
+    #[test]
+    fn ordering_matches_resources() {
+        assert!(CoreSize::S < CoreSize::M);
+        assert!(CoreSize::M < CoreSize::L);
+        assert!(CoreSize::S.rob() < CoreSize::M.rob());
+        assert!(CoreSize::M.rob() < CoreSize::L.rob());
+        assert!(CoreSize::S.dispatch_width() < CoreSize::L.dispatch_width());
+    }
+
+    #[test]
+    fn instruction_index_window_is_4x_max_rob() {
+        assert_eq!(INSTRUCTION_INDEX_WINDOW, 4 * CoreSize::L.rob());
+        assert_eq!(1u32 << INSTRUCTION_INDEX_BITS, INSTRUCTION_INDEX_WINDOW);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CoreSize::S.to_string(), "S");
+        assert_eq!(CoreSize::M.to_string(), "M");
+        assert_eq!(CoreSize::L.to_string(), "L");
+    }
+}

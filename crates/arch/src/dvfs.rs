@@ -1,0 +1,179 @@
+//! Per-core DVFS operating points (Table I) and transition overheads (§III-E).
+//!
+//! Table I specifies a per-core DVFS domain with a 1.0–3.25 GHz frequency
+//! range and a 0.8–1.25 V voltage range; the baseline point is 2 GHz / 1 V.
+//! We discretize the range into 0.25 GHz steps (10 operating points), with a
+//! linear V(f) map that hits all three anchor points from the table:
+//! `V(1.0 GHz) = 0.8 V`, `V(2.0 GHz) = 1.0 V`, `V(3.25 GHz) = 1.25 V`.
+//!
+//! Switching the VF point of a core costs time and energy; §III-E adopts the
+//! Samsung Exynos 4210 measurements of 15 µs and 3 µJ per transition.
+
+/// Time to complete one per-core VF transition, in seconds (15 µs, §III-E).
+pub const DVFS_TRANSITION_TIME_S: f64 = 15e-6;
+
+/// Energy consumed by one per-core VF transition, in joules (3 µJ, §III-E).
+pub const DVFS_TRANSITION_ENERGY_J: f64 = 3e-6;
+
+/// Index of an operating point within a [`DvfsGrid`].
+pub type VfIndex = usize;
+
+/// A single voltage/frequency operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfPoint {
+    /// Core clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Supply voltage in volts.
+    pub volt: f64,
+}
+
+impl VfPoint {
+    /// Frequency in GHz (convenience for reports).
+    #[inline]
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_hz / 1e9
+    }
+}
+
+/// The discrete per-core DVFS operating-point grid.
+///
+/// Points are ordered by ascending frequency; `grid.point(grid.baseline)` is
+/// the 2 GHz / 1 V baseline from Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsGrid {
+    points: Vec<VfPoint>,
+    /// Index of the baseline (2 GHz) point.
+    pub baseline: VfIndex,
+}
+
+impl DvfsGrid {
+    /// Frequency step between adjacent grid points, in Hz.
+    pub const STEP_HZ: f64 = 0.25e9;
+    /// Lowest grid frequency, in Hz (Table I: 1 GHz).
+    pub const MIN_HZ: f64 = 1.0e9;
+    /// Highest grid frequency, in Hz (Table I: 3.25 GHz).
+    pub const MAX_HZ: f64 = 3.25e9;
+
+    /// The Table I grid: 1.00, 1.25, …, 3.25 GHz (10 points).
+    pub fn table1() -> Self {
+        let mut points = Vec::new();
+        let mut baseline = 0;
+        let steps = ((Self::MAX_HZ - Self::MIN_HZ) / Self::STEP_HZ).round() as usize;
+        for i in 0..=steps {
+            let f = Self::MIN_HZ + i as f64 * Self::STEP_HZ;
+            if (f - 2.0e9).abs() < 1.0 {
+                baseline = points.len();
+            }
+            points.push(VfPoint { freq_hz: f, volt: Self::voltage_for(f) });
+        }
+        DvfsGrid { points, baseline }
+    }
+
+    /// The linear V(f) map anchored on Table I:
+    /// `V = 0.8 + 0.2 · (f[GHz] − 1.0)` volts.
+    #[inline]
+    pub fn voltage_for(freq_hz: f64) -> f64 {
+        0.8 + 0.2 * (freq_hz / 1e9 - 1.0)
+    }
+
+    /// Number of operating points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid holds no operating points (never for `table1`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The operating point at `idx`. Panics if out of range.
+    #[inline]
+    pub fn point(&self, idx: VfIndex) -> VfPoint {
+        self.points[idx]
+    }
+
+    /// The baseline operating point (2 GHz / 1 V).
+    #[inline]
+    pub fn baseline_point(&self) -> VfPoint {
+        self.points[self.baseline]
+    }
+
+    /// All operating points in ascending-frequency order.
+    #[inline]
+    pub fn points(&self) -> &[VfPoint] {
+        &self.points
+    }
+
+    /// Iterate `(index, point)` pairs in ascending-frequency order.
+    pub fn iter(&self) -> impl Iterator<Item = (VfIndex, VfPoint)> + '_ {
+        self.points.iter().copied().enumerate()
+    }
+
+    /// Index of the slowest grid point whose frequency is ≥ `freq_hz`,
+    /// or `None` if even the fastest point is below it.
+    pub fn ceil_index(&self, freq_hz: f64) -> Option<VfIndex> {
+        self.points.iter().position(|p| p.freq_hz >= freq_hz)
+    }
+}
+
+impl Default for DvfsGrid {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_grid_has_ten_points() {
+        let g = DvfsGrid::table1();
+        assert_eq!(g.len(), 10);
+        assert!((g.point(0).freq_hz - 1.0e9).abs() < 1.0);
+        assert!((g.point(9).freq_hz - 3.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn baseline_is_2ghz_1v() {
+        let g = DvfsGrid::table1();
+        let b = g.baseline_point();
+        assert!((b.freq_hz - 2.0e9).abs() < 1.0);
+        assert!((b.volt - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_map_hits_table1_anchors() {
+        assert!((DvfsGrid::voltage_for(1.0e9) - 0.8).abs() < 1e-12);
+        assert!((DvfsGrid::voltage_for(2.0e9) - 1.0).abs() < 1e-12);
+        assert!((DvfsGrid::voltage_for(3.25e9) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_is_sorted_and_voltage_monotone() {
+        let g = DvfsGrid::table1();
+        for w in g.points().windows(2) {
+            assert!(w[0].freq_hz < w[1].freq_hz);
+            assert!(w[0].volt < w[1].volt);
+        }
+    }
+
+    #[test]
+    fn ceil_index_picks_slowest_satisfying_point() {
+        let g = DvfsGrid::table1();
+        assert_eq!(g.ceil_index(0.5e9), Some(0));
+        assert_eq!(g.ceil_index(1.0e9), Some(0));
+        assert_eq!(g.ceil_index(1.01e9), Some(1));
+        assert_eq!(g.ceil_index(2.0e9), Some(g.baseline));
+        assert_eq!(g.ceil_index(3.25e9), Some(9));
+        assert_eq!(g.ceil_index(3.26e9), None);
+    }
+
+    #[test]
+    fn freq_ghz_conversion() {
+        let p = VfPoint { freq_hz: 2.5e9, volt: 1.1 };
+        assert!((p.freq_ghz() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cache-hierarchy geometry (Table I).
+//!
+//! * L1-I / L1-D: 32 KB, 4-way, private;
+//! * L2: 256 KB, 8-way, private;
+//! * L3 (LLC): shared, 2 MB × cores capacity, 8 × cores associativity,
+//!   way-partitioned with a per-core allowed range of 2–16 ways
+//!   (256 KB–4 MB);
+//! * 64-byte blocks, LRU replacement everywhere.
+
+/// Cache block (line) size in bytes. Table I: 64 B.
+pub const BLOCK_BYTES: usize = 64;
+
+/// Geometry of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheLevelGeometry {
+    /// Number of sets (`capacity / (ways × block)`), always a power of two
+    /// for Table I configurations.
+    #[inline]
+    pub const fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * BLOCK_BYTES)
+    }
+
+    /// Capacity of a single way in bytes.
+    #[inline]
+    pub const fn way_bytes(&self) -> usize {
+        self.capacity_bytes / self.ways
+    }
+}
+
+/// The full private + shared cache geometry for an `n`-core system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Private L1 instruction cache (32 KB, 4-way). Modeled only in energy
+    /// and hit-latency aggregates; the trace generators operate at the
+    /// data-access level.
+    pub l1i: CacheLevelGeometry,
+    /// Private L1 data cache (32 KB, 4-way).
+    pub l1d: CacheLevelGeometry,
+    /// Private unified L2 (256 KB, 8-way).
+    pub l2: CacheLevelGeometry,
+    /// Shared LLC (2 MB and 8 ways per core).
+    pub llc: CacheLevelGeometry,
+    /// Minimum LLC ways a single core may be allocated (Table I: 2).
+    pub min_ways_per_core: usize,
+    /// Maximum LLC ways a single core may be allocated (Table I: 16).
+    pub max_ways_per_core: usize,
+    /// Baseline (even) LLC allocation per core (8 ways = 2 MB).
+    pub baseline_ways_per_core: usize,
+}
+
+impl CacheGeometry {
+    /// Table I geometry for an `n_cores`-core system.
+    pub const fn table1(n_cores: usize) -> Self {
+        CacheGeometry {
+            l1i: CacheLevelGeometry { capacity_bytes: 32 * 1024, ways: 4 },
+            l1d: CacheLevelGeometry { capacity_bytes: 32 * 1024, ways: 4 },
+            l2: CacheLevelGeometry { capacity_bytes: 256 * 1024, ways: 8 },
+            llc: CacheLevelGeometry {
+                capacity_bytes: 2 * 1024 * 1024 * n_cores,
+                ways: 8 * n_cores,
+            },
+            min_ways_per_core: 2,
+            max_ways_per_core: 16,
+            baseline_ways_per_core: 8,
+        }
+    }
+
+    /// A capacity-scaled variant of [`CacheGeometry::table1`] used by the
+    /// detailed simulator: every capacity is divided by `factor` while the
+    /// way counts (and therefore the whole partitioning problem) stay
+    /// identical. Miss-curve *shape* versus way count is preserved because
+    /// it depends on working-set-to-way-capacity ratios, which the trace
+    /// generator scales by the same factor. This lets short synthetic
+    /// traces reach steady state the way the paper's 100M-instruction
+    /// windows do on full-size caches.
+    pub const fn table1_scaled(n_cores: usize, factor: usize) -> Self {
+        CacheGeometry {
+            l1i: CacheLevelGeometry { capacity_bytes: 32 * 1024 / factor, ways: 4 },
+            l1d: CacheLevelGeometry { capacity_bytes: 32 * 1024 / factor, ways: 4 },
+            l2: CacheLevelGeometry { capacity_bytes: 256 * 1024 / factor, ways: 8 },
+            llc: CacheLevelGeometry {
+                capacity_bytes: 2 * 1024 * 1024 * n_cores / factor,
+                ways: 8 * n_cores,
+            },
+            min_ways_per_core: 2,
+            max_ways_per_core: 16,
+            baseline_ways_per_core: 8,
+        }
+    }
+
+    /// Total LLC associativity `A` — the global resource constraint of the
+    /// partitioning problem (`Σ_j w_j = A`).
+    #[inline]
+    pub const fn total_llc_ways(&self) -> usize {
+        self.llc.ways
+    }
+
+    /// Clamped per-core allocation domain, accounting for the fact that on a
+    /// 2-core system a core can receive at most `A − min` ways (the other
+    /// core must keep its minimum).
+    pub fn per_core_way_range(&self, n_cores: usize) -> std::ops::RangeInclusive<usize> {
+        let hi = self
+            .max_ways_per_core
+            .min(self.total_llc_ways() - (n_cores - 1) * self.min_ways_per_core);
+        self.min_ways_per_core..=hi
+    }
+
+    /// Number of distinct per-core allocations (the paper's "16 possible LLC
+    /// allocations per core" counts 2..=16 on large systems, fewer when the
+    /// total associativity constrains it).
+    pub fn allocations_per_core(&self, n_cores: usize) -> usize {
+        let r = self.per_core_way_range(n_cores);
+        r.end() - r.start() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_private_levels() {
+        let g = CacheGeometry::table1(4);
+        assert_eq!(g.l1d.capacity_bytes, 32 * 1024);
+        assert_eq!(g.l1d.ways, 4);
+        assert_eq!(g.l1d.sets(), 128);
+        assert_eq!(g.l2.capacity_bytes, 256 * 1024);
+        assert_eq!(g.l2.ways, 8);
+        assert_eq!(g.l2.sets(), 512);
+    }
+
+    #[test]
+    fn llc_scales_with_cores() {
+        for n in [2usize, 4, 8] {
+            let g = CacheGeometry::table1(n);
+            assert_eq!(g.llc.capacity_bytes, 2 * 1024 * 1024 * n);
+            assert_eq!(g.llc.ways, 8 * n);
+            // One way is always 256 KB regardless of core count.
+            assert_eq!(g.llc.way_bytes(), 256 * 1024);
+        }
+    }
+
+    #[test]
+    fn way_range_two_cores_is_2_to_14() {
+        // 2 cores: A = 16; a core may take at most 16 − 2 = 14 ways.
+        let g = CacheGeometry::table1(2);
+        assert_eq!(g.per_core_way_range(2), 2..=14);
+        assert_eq!(g.allocations_per_core(2), 13);
+    }
+
+    #[test]
+    fn way_range_four_and_eight_cores_is_2_to_16() {
+        let g4 = CacheGeometry::table1(4);
+        assert_eq!(g4.per_core_way_range(4), 2..=16);
+        assert_eq!(g4.allocations_per_core(4), 15);
+        let g8 = CacheGeometry::table1(8);
+        assert_eq!(g8.per_core_way_range(8), 2..=16);
+    }
+
+    #[test]
+    fn baseline_allocation_is_8_ways_2mb() {
+        let g = CacheGeometry::table1(4);
+        assert_eq!(g.baseline_ways_per_core, 8);
+        assert_eq!(g.baseline_ways_per_core * g.llc.way_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn sets_are_powers_of_two() {
+        for n in [2usize, 4, 8] {
+            let g = CacheGeometry::table1(n);
+            for lvl in [g.l1i, g.l1d, g.l2, g.llc] {
+                assert!(lvl.sets().is_power_of_two(), "{lvl:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The per-core resource setting tuple `(c, f, w)` managed by the RM.
+
+use crate::core_size::CoreSize;
+use crate::dvfs::VfIndex;
+
+/// One core's resource assignment: core size `c`, DVFS point `f` (as an
+/// index into the system's [`crate::DvfsGrid`]) and LLC way allocation `w`.
+///
+/// This is the unit the resource manager reasons about: the local optimizer
+/// produces, for every `w`, the energy-minimal `(c, f)` meeting QoS, and the
+/// global optimizer picks one `Setting` per core subject to `Σ w = A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Setting {
+    /// Core micro-architecture size.
+    pub core: CoreSize,
+    /// Index of the VF operating point in the DVFS grid.
+    pub vf: VfIndex,
+    /// Number of LLC ways allocated to this core.
+    pub ways: usize,
+}
+
+impl Setting {
+    /// Construct a setting.
+    pub const fn new(core: CoreSize, vf: VfIndex, ways: usize) -> Self {
+        Setting { core, vf, ways }
+    }
+
+    /// Dense linear index over the full configuration space, for database
+    /// storage: `((c × n_vf) + vf) × n_way_slots + (ways − min_ways)`.
+    #[inline]
+    pub fn dense_index(&self, n_vf: usize, min_ways: usize, n_ways: usize) -> usize {
+        debug_assert!(self.vf < n_vf);
+        debug_assert!(self.ways >= min_ways && self.ways < min_ways + n_ways);
+        (self.core.index() * n_vf + self.vf) * n_ways + (self.ways - min_ways)
+    }
+}
+
+impl std::fmt::Display for Setting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, vf{}, {}w)", self.core, self.vf, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_index_is_bijective() {
+        let n_vf = 10;
+        let min_ways = 2;
+        let n_ways = 15;
+        let mut seen = vec![false; CoreSize::COUNT * n_vf * n_ways];
+        for c in CoreSize::ALL {
+            for vf in 0..n_vf {
+                for w in min_ways..min_ways + n_ways {
+                    let s = Setting::new(c, vf, w);
+                    let i = s.dense_index(n_vf, min_ways, n_ways);
+                    assert!(!seen[i], "collision at {s}");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Setting::new(CoreSize::L, 4, 8);
+        assert_eq!(s.to_string(), "(L, vf4, 8w)");
+    }
+}

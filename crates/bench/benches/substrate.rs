@@ -1,0 +1,96 @@
+//! Substrate throughput benches: cache classification, the out-of-order
+//! timing model, the ATD+MLP monitor and the global curve reduction.
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use triad_arch::{CacheGeometry, CoreSize};
+use triad_cache::{classify, Atd, MlpMonitor};
+use triad_rm::{optimize_partition, EnergyCurve};
+use triad_trace::{MemRegion, PhaseSpec};
+use triad_uarch::{simulate, TimingConfig};
+
+fn spec() -> PhaseSpec {
+    PhaseSpec {
+        tag: 1,
+        load_frac: 0.24,
+        store_frac: 0.06,
+        branch_frac: 0.12,
+        longop_frac: 0.10,
+        mispredict_rate: 0.02,
+        dep_mean: 8.0,
+        dep2_prob: 0.3,
+        chase_frac: 0.1,
+        burst: 1.0,
+        addr_dep: 0.2,
+        regions: vec![MemRegion::reuse_kib(8, 0.7), MemRegion::reuse_kib(200, 0.3)],
+    }
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let t = spec().generate(64_000, 1);
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_function("l1_l2_atd_pass", |b| b.iter(|| black_box(classify(&t, &geom))));
+    g.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let t = spec().generate(64_000, 1);
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let ct = classify(&t, &geom);
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    for core in CoreSize::ALL {
+        g.bench_function(format!("ooo_model_{core}"), |b| {
+            b.iter(|| {
+                black_box(simulate(&t.insts, &ct, &TimingConfig::table1(core, 2.0e9, 8)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monitors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitors");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("atd_access", |b| {
+        let mut atd = Atd::table1();
+        let mut x = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(atd.access((x >> 16) & 0xFFFF_FFC0));
+            }
+        })
+    });
+    g.bench_function("mlp_monitor_load", |b| {
+        let mut mon = MlpMonitor::table1();
+        let mut x = 0u64;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                mon.on_llc_load(i * 7, (x % 20) as u8);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_global(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_optimizer");
+    for n in [2usize, 4, 8, 16] {
+        let curves: Vec<EnergyCurve> = (0..n)
+            .map(|i| EnergyCurve {
+                min_w: 2,
+                energy: (0..15).map(|w| ((w + i) % 7) as f64 + 0.1).collect(),
+            })
+            .collect();
+        g.bench_function(format!("reduce_{n}_cores"), |b| {
+            b.iter(|| black_box(optimize_partition(&curves, 8 * n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_timing, bench_monitors, bench_global);
+criterion_main!(benches);

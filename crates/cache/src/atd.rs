@@ -1,0 +1,223 @@
+//! Auxiliary Tag Directory (ATD) — online miss curves for every allocation.
+//!
+//! The ATD [Qureshi & Patt, MICRO'06] shadows the LLC tag arrays with
+//! per-set true-LRU stacks sized for the *largest* possible per-core
+//! allocation. Each access records the LRU **stack distance** (recency
+//! position) at which its tag was found:
+//!
+//! * distance `d < w`  ⇒ the access would **hit** a `w`-way allocation;
+//! * distance `d ≥ w` (or not present) ⇒ it would **miss**.
+//!
+//! Accumulating a histogram of hits per recency position plus a miss count
+//! yields the miss count for *every* `w` simultaneously (§III-C):
+//! `misses(w) = Σ_{p ≥ w} hits[p] + atd_misses`.
+
+/// Stack distance reported for an access that missed the whole directory.
+pub const COLD: u8 = u8::MAX;
+
+/// The Auxiliary Tag Directory for one core.
+#[derive(Debug, Clone)]
+pub struct Atd {
+    sets: usize,
+    max_ways: usize,
+    /// Per-set LRU stacks (MRU first), `u64::MAX` = empty slot.
+    tags: Vec<u64>,
+    set_mask: u64,
+    /// Hits observed at each recency position `0..max_ways`.
+    pub hits: Vec<u64>,
+    /// Accesses that missed all `max_ways` positions (cold or evicted).
+    pub misses: u64,
+}
+
+impl Atd {
+    /// An ATD with `sets` sets tracking up to `max_ways` recency positions
+    /// (Table I: 4096 sets, 16 ways).
+    pub fn new(sets: usize, max_ways: usize) -> Self {
+        assert!(sets.is_power_of_two());
+        assert!(max_ways >= 1 && max_ways < COLD as usize);
+        Atd {
+            sets,
+            max_ways,
+            tags: vec![u64::MAX; sets * max_ways],
+            set_mask: (sets - 1) as u64,
+            hits: vec![0; max_ways],
+            misses: 0,
+        }
+    }
+
+    /// The Table I LLC monitor: 4096 sets × 16 ways.
+    pub fn table1() -> Self {
+        Self::new(4096, 16)
+    }
+
+    /// Record an access and return its stack distance (recency position),
+    /// or [`COLD`] if the tag was not present in any tracked position.
+    pub fn access(&mut self, addr: u64) -> u8 {
+        let set = ((addr >> 6) & self.set_mask) as usize;
+        let tag = addr >> 6;
+        let base = set * self.max_ways;
+        let slice = &mut self.tags[base..base + self.max_ways];
+        let dist = match slice.iter().position(|&t| t == tag) {
+            Some(pos) => {
+                slice[..=pos].rotate_right(1);
+                self.hits[pos] += 1;
+                pos as u8
+            }
+            None => {
+                slice.rotate_right(1);
+                self.misses += 1;
+                COLD
+            }
+        };
+        slice[0] = tag;
+        dist
+    }
+
+    /// Predicted miss count for a `w`-way allocation:
+    /// `Σ_{p ≥ w} hits[p] + misses` (§III-C).
+    pub fn miss_count(&self, w: usize) -> u64 {
+        assert!(w >= 1 && w <= self.max_ways);
+        self.hits[w..].iter().sum::<u64>() + self.misses
+    }
+
+    /// The full miss curve over `1..=max_ways` (index 0 ↦ w = 1).
+    pub fn miss_curve(&self) -> Vec<u64> {
+        (1..=self.max_ways).map(|w| self.miss_count(w)).collect()
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits.iter().sum::<u64>() + self.misses
+    }
+
+    /// Reset counters (keeps tag state — the paper's RM reads counters per
+    /// interval without flushing the directory).
+    pub fn reset_counters(&mut self) {
+        self.hits.fill(0);
+        self.misses = 0;
+    }
+
+    /// Maximum tracked allocation.
+    pub fn max_ways(&self) -> usize {
+        self.max_ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::SetAssocCache;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn stack_distance_reflects_reuse() {
+        let mut atd = Atd::new(1, 4);
+        assert_eq!(atd.access(0), COLD);
+        assert_eq!(atd.access(64), COLD);
+        assert_eq!(atd.access(128), COLD);
+        // 0 is now at recency position 2.
+        assert_eq!(atd.access(0), 2);
+        // 0 moved to MRU; immediate reuse has distance 0.
+        assert_eq!(atd.access(0), 0);
+    }
+
+    #[test]
+    fn miss_count_formula_matches_histogram() {
+        let mut atd = Atd::new(1, 4);
+        for addr in [0u64, 64, 0, 128, 64, 0, 192, 256] {
+            atd.access(addr);
+        }
+        for w in 1..=4 {
+            let expected: u64 = atd.hits[w..].iter().sum::<u64>() + atd.misses;
+            assert_eq!(atd.miss_count(w), expected);
+        }
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_nonincreasing() {
+        let mut atd = Atd::new(16, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20_000 {
+            atd.access(rng.random_range(0..2048u64) * 64);
+        }
+        let curve = atd.miss_curve();
+        for w in curve.windows(2) {
+            assert!(w[0] >= w[1], "more ways can never add misses: {curve:?}");
+        }
+    }
+
+    /// The load-bearing property: the ATD's per-`w` prediction must exactly
+    /// match a real `w`-way LRU cache with the same set count, for every `w`.
+    #[test]
+    fn atd_matches_direct_simulation_for_every_w() {
+        let sets = 64;
+        let max_ways = 16;
+        let mut rng = StdRng::seed_from_u64(11);
+        let addrs: Vec<u64> = (0..50_000)
+            .map(|_| {
+                // A mixture of a hot region, a big region and a stream.
+                let u: f64 = rng.random();
+                if u < 0.5 {
+                    rng.random_range(0..256u64) * 64
+                } else if u < 0.9 {
+                    rng.random_range(0..4096u64) * 64
+                } else {
+                    rng.random_range(100_000..200_000u64) * 64
+                }
+            })
+            .collect();
+
+        let mut atd = Atd::new(sets, max_ways);
+        let mut caches: Vec<SetAssocCache> =
+            (1..=max_ways).map(|w| SetAssocCache::new(sets, w)).collect();
+        let mut direct_misses = vec![0u64; max_ways];
+        for &a in &addrs {
+            let d = atd.access(a);
+            for (wi, c) in caches.iter_mut().enumerate() {
+                let hit = c.access(a);
+                // Inclusion property of LRU: hit in (w+1)-way iff d <= w.
+                let predicted_hit = (d as usize) < wi + 1;
+                assert_eq!(hit, predicted_hit, "addr {a}, w={}", wi + 1);
+                if !hit {
+                    direct_misses[wi] += 1;
+                }
+            }
+        }
+        for w in 1..=max_ways {
+            assert_eq!(atd.miss_count(w), direct_misses[w - 1], "w={w}");
+        }
+    }
+
+    #[test]
+    fn reset_counters_keeps_tag_state() {
+        let mut atd = Atd::new(1, 2);
+        atd.access(0);
+        atd.reset_counters();
+        assert_eq!(atd.accesses(), 0);
+        // Tag 0 is still resident: next access is a position-0 hit.
+        assert_eq!(atd.access(0), 0);
+        assert_eq!(atd.hits[0], 1);
+    }
+
+    #[test]
+    fn table1_dimensions() {
+        let atd = Atd::table1();
+        assert_eq!(atd.sets(), 4096);
+        assert_eq!(atd.max_ways(), 16);
+    }
+
+    #[test]
+    fn accesses_counts_everything() {
+        let mut atd = Atd::new(2, 2);
+        for a in [0u64, 64, 0, 128, 192] {
+            atd.access(a);
+        }
+        assert_eq!(atd.accesses(), 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! # triad-cache — cache hierarchy, ATD, and the leading-miss MLP monitor
+//!
+//! This crate implements the memory-hierarchy substrate of the paper:
+//!
+//! * [`lru::SetAssocCache`] — a set-associative, true-LRU cache used for the
+//!   private L1D and L2 levels (Table I geometry);
+//! * [`atd::Atd`] — the Auxiliary Tag Directory [Qureshi & Patt, MICRO'06]:
+//!   per-set LRU stacks over the *maximum* per-core LLC allocation that
+//!   produce, in a single pass, the LLC stack distance of every access —
+//!   and therefore the miss count for **every** possible way allocation
+//!   simultaneously (for true LRU, an access hits a `w`-way cache iff its
+//!   stack distance is `< w`);
+//! * [`hierarchy::classify`] — the one-pass L1D→L2→LLC filter that reduces a
+//!   phase trace to a compact per-memory-access classification consumed by
+//!   the timing model;
+//! * [`mlp::MlpMonitor`] — **the paper's hardware contribution (Fig. 4)**:
+//!   per-(core-size, way-allocation) leading-miss counters that estimate MLP
+//!   for every core size and LLC allocation from the arrival-ordered LLC
+//!   load stream and a 10-bit instruction index.
+//!
+//! Way partitioning note: the Table I LLC has `8 × n_cores` ways and
+//! `4096` sets regardless of core count, and each core's lines are confined
+//! to its allocated ways. Under LRU-within-partition, a core's hit/miss
+//! behavior depends only on its own allocation `w` and its own access
+//! stream, so per-core LLC behavior is exactly a `4096-set × w-way` cache —
+//! which is what the ATD stack distances encode.
+
+pub mod atd;
+pub mod hierarchy;
+pub mod lru;
+pub mod mlp;
+
+pub use atd::Atd;
+pub use hierarchy::{classify, classify_warm, AccessClass, ClassifiedTrace};
+pub use lru::SetAssocCache;
+pub use mlp::MlpMonitor;

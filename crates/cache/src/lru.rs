@@ -1,0 +1,165 @@
+//! Set-associative cache with true LRU replacement.
+//!
+//! Used directly for the private L1D and L2 levels, and as the per-allocation
+//! reference model the ATD is validated against in tests.
+
+/// A set-associative, true-LRU cache over 64-byte blocks.
+///
+/// Tags within a set are stored in recency order (index 0 = MRU), so an
+/// access is a linear scan plus a prefix rotation — optimal for the small
+/// associativities of Table I (≤ 16).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `sets × ways` tags in recency order per set; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+/// Sentinel for an empty way.
+const INVALID: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Create a cache with `sets` sets (power of two) and `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways >= 1);
+        SetAssocCache {
+            sets,
+            ways,
+            tags: vec![INVALID; sets * ways],
+            set_shift: 6, // 64-byte blocks
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// Create a cache from a capacity in bytes and an associativity,
+    /// assuming 64-byte blocks (Table I).
+    pub fn with_capacity(capacity_bytes: usize, ways: usize) -> Self {
+        let sets = capacity_bytes / (ways * 64);
+        Self::new(sets, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Access `addr` (byte address); returns `true` on hit. Misses allocate
+    /// (write-allocate for stores is the caller's policy — Table I caches
+    /// allocate on both loads and stores).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let set = ((addr >> self.set_shift) & self.set_mask) as usize;
+        let tag = addr >> self.set_shift;
+        let base = set * self.ways;
+        let slice = &mut self.tags[base..base + self.ways];
+        if let Some(pos) = slice.iter().position(|&t| t == tag) {
+            // Move to MRU.
+            slice[..=pos].rotate_right(1);
+            slice[0] = tag;
+            true
+        } else {
+            slice.rotate_right(1);
+            slice[0] = tag;
+            false
+        }
+    }
+
+    /// Invalidate all lines.
+    pub fn clear(&mut self) {
+        self.tags.fill(INVALID);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(2, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways. Access A, B, A, C: C evicts B (LRU), not A.
+        let mut c = SetAssocCache::new(1, 2);
+        let (a, b, x) = (0u64, 64, 128);
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a));
+        assert!(!c.access(x)); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn set_indexing_separates_conflicts() {
+        // 2 sets: addresses 0 and 64 go to different sets and never conflict.
+        let mut c = SetAssocCache::new(2, 1);
+        assert!(!c.access(0));
+        assert!(!c.access(64));
+        assert!(c.access(0));
+        assert!(c.access(64));
+        // 0 and 128 share set 0 with 1 way: they thrash.
+        assert!(!c.access(128));
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn same_block_offsets_map_to_same_line() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(100)); // block 1
+        assert!(c.access(64)); // same block
+        assert!(c.access(127)); // same block
+    }
+
+    #[test]
+    fn with_capacity_table1_l2() {
+        let c = SetAssocCache::with_capacity(256 * 1024, 8);
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.access(0);
+        assert!(c.access(0));
+        c.clear();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = SetAssocCache::with_capacity(8 * 1024, 4);
+        let blocks: Vec<u64> = (0..128).map(|i| i * 64).collect(); // 8 KB
+        for &b in &blocks {
+            c.access(b);
+        }
+        for &b in &blocks {
+            assert!(c.access(b), "block {b} should be resident");
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_misses_under_sequential_lru() {
+        // Sequential cyclic access over 2× capacity: LRU always misses.
+        let mut c = SetAssocCache::with_capacity(4 * 1024, 4);
+        let blocks: Vec<u64> = (0..128).map(|i| i * 64).collect(); // 8 KB
+        for _ in 0..3 {
+            for &b in &blocks {
+                assert!(!c.access(b), "cyclic sequential over 2x capacity never hits");
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Leading-miss (MLP) monitor — the paper's hardware contribution (§III-C,
+//! Fig. 4).
+//!
+//! The total number of LLC misses is a poor predictor of memory stall time
+//! because overlapping misses cost roughly one memory latency per *group*.
+//! Only the **leading miss** (LM) of each group should be counted
+//! [Su'14, Miftakhutdinov'12]. No prior online mechanism estimated leading
+//! misses across *different core sizes and LLC allocations*; this monitor
+//! does, with one small counter per (core size, way allocation):
+//!
+//! Every LLC load carries a 10-bit **instruction index** (its position in a
+//! wrapping window of 4 × max-ROB = 1024 instructions). For each core size
+//! `c` and allocation `w`, a load that the ATD predicts to *miss at `w`* is
+//! classified on arrival:
+//!
+//! 1. if its wrapped distance to the last LM is ≥ ROB(c), the ROB could not
+//!    have held both → new **LM**;
+//! 2. else, if it arrives *out of order* — its distance is smaller than the
+//!    last overlapping load's distance — it is assumed data-dependent on the
+//!    last LM (a dependent load is delayed by its producer's miss, letting
+//!    younger independent loads overtake it) → new **LM**;
+//! 3. otherwise it **overlaps** (OV) with the last LM.
+//!
+//! The per-counter state is exactly the paper's: the LM count, the index of
+//! the last LM and the distance of the last OV (~47 bits per counter; 48
+//! counters ≈ 300 B per core, §III-E).
+
+use crate::atd::COLD;
+use triad_arch::core_size::{CoreSize, INSTRUCTION_INDEX_BITS, INSTRUCTION_INDEX_WINDOW};
+
+/// Decision taken for one predicted-miss load (exposed for tests/tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmDecision {
+    /// Counted as a new leading miss.
+    Lead,
+    /// Counted as overlapping with the last leading miss.
+    Overlap,
+}
+
+/// Sentinel for "no value" in the index/distance registers.
+const NONE: u32 = u32::MAX;
+
+/// Per-(core-size, allocation) counter state (Fig. 4's three registers).
+#[derive(Debug, Clone, Copy)]
+struct Counter {
+    last_lm_idx: u32,
+    last_ov_dist: u32,
+    lm: u64,
+    ov: u64,
+}
+
+impl Counter {
+    const fn new() -> Self {
+        Counter { last_lm_idx: NONE, last_ov_dist: NONE, lm: 0, ov: 0 }
+    }
+
+    #[inline]
+    fn classify(&mut self, idx: u32, rob: u32) -> LmDecision {
+        let mask = INSTRUCTION_INDEX_WINDOW - 1;
+        if self.last_lm_idx == NONE {
+            return self.lead(idx);
+        }
+        let d = idx.wrapping_sub(self.last_lm_idx) & mask;
+        if d >= rob {
+            self.lead(idx)
+        } else if self.last_ov_dist != NONE && d < self.last_ov_dist {
+            // Out-of-order arrival ⇒ assumed dependent on the last LM.
+            self.lead(idx)
+        } else {
+            self.ov += 1;
+            self.last_ov_dist = d;
+            LmDecision::Overlap
+        }
+    }
+
+    #[inline]
+    fn lead(&mut self, idx: u32) -> LmDecision {
+        self.lm += 1;
+        self.last_lm_idx = idx;
+        self.last_ov_dist = NONE;
+        LmDecision::Lead
+    }
+}
+
+/// The full monitor for one core: one counter per core size per
+/// way allocation.
+#[derive(Debug, Clone)]
+pub struct MlpMonitor {
+    min_ways: usize,
+    n_ways: usize,
+    /// `CoreSize::COUNT × n_ways` counters, core-size-major.
+    counters: Vec<Counter>,
+}
+
+impl MlpMonitor {
+    /// Monitor for allocations `min_ways..=max_ways` (Table I: 2..=16 →
+    /// 3 × 15 = 45 counters; the paper's §III-E rounds to 48).
+    pub fn new(min_ways: usize, max_ways: usize) -> Self {
+        assert!(min_ways >= 1 && max_ways >= min_ways);
+        let n_ways = max_ways - min_ways + 1;
+        MlpMonitor {
+            min_ways,
+            n_ways,
+            counters: vec![Counter::new(); CoreSize::COUNT * n_ways],
+        }
+    }
+
+    /// The Table I monitor (2..=16 ways).
+    pub fn table1() -> Self {
+        Self::new(2, 16)
+    }
+
+    #[inline]
+    fn slot(&self, c: CoreSize, w: usize) -> usize {
+        debug_assert!(w >= self.min_ways && w < self.min_ways + self.n_ways);
+        c.index() * self.n_ways + (w - self.min_ways)
+    }
+
+    /// Feed one LLC **load** in arrival order.
+    ///
+    /// * `inst_index` — program-order index of the load (truncated to the
+    ///   10-bit hardware window internally);
+    /// * `stack_dist` — ATD stack distance, or [`crate::atd::COLD`] when the
+    ///   load misses every tracked position.
+    ///
+    /// The load is classified for every `(c, w)` whose allocation it is
+    /// predicted to miss (`stack_dist ≥ w`).
+    #[inline]
+    pub fn on_llc_load(&mut self, inst_index: u64, stack_dist: u8) {
+        let idx = (inst_index as u32) & (INSTRUCTION_INDEX_WINDOW - 1);
+        // The largest allocation this load still misses.
+        let upper = if stack_dist == COLD {
+            self.min_ways + self.n_ways - 1
+        } else {
+            (stack_dist as usize).min(self.min_ways + self.n_ways - 1)
+        };
+        if stack_dist != COLD && (stack_dist as usize) < self.min_ways {
+            return; // hits even the smallest allocation: never a miss
+        }
+        for c in CoreSize::ALL {
+            let rob = c.rob();
+            let base = c.index() * self.n_ways;
+            for w in self.min_ways..=upper {
+                self.counters[base + (w - self.min_ways)].classify(idx, rob);
+            }
+        }
+    }
+
+    /// Leading-miss count for `(c, w)`.
+    pub fn lm_count(&self, c: CoreSize, w: usize) -> u64 {
+        self.counters[self.slot(c, w)].lm
+    }
+
+    /// Overlapping-miss count for `(c, w)` (diagnostic).
+    pub fn ov_count(&self, c: CoreSize, w: usize) -> u64 {
+        self.counters[self.slot(c, w)].ov
+    }
+
+    /// Total predicted misses observed for `(c, w)` (LM + OV). Identical
+    /// across core sizes by construction.
+    pub fn miss_count(&self, c: CoreSize, w: usize) -> u64 {
+        let ctr = &self.counters[self.slot(c, w)];
+        ctr.lm + ctr.ov
+    }
+
+    /// Estimated MLP for `(c, w)`: misses per leading miss (≥ 1); 1.0 when
+    /// no misses were observed.
+    pub fn mlp(&self, c: CoreSize, w: usize) -> f64 {
+        let ctr = &self.counters[self.slot(c, w)];
+        if ctr.lm == 0 {
+            1.0
+        } else {
+            (ctr.lm + ctr.ov) as f64 / ctr.lm as f64
+        }
+    }
+
+    /// Dense LM matrix `[core size][way slot]` for database storage.
+    pub fn lm_matrix(&self) -> Vec<Vec<u64>> {
+        CoreSize::ALL
+            .iter()
+            .map(|&c| (self.min_ways..self.min_ways + self.n_ways)
+                .map(|w| self.lm_count(c, w))
+                .collect())
+            .collect()
+    }
+
+    /// Reset all counters and registers (per-interval readout).
+    pub fn reset(&mut self) {
+        self.counters.fill(Counter::new());
+    }
+
+    /// Smallest tracked allocation.
+    pub fn min_ways(&self) -> usize {
+        self.min_ways
+    }
+
+    /// Number of tracked allocations.
+    pub fn n_ways(&self) -> usize {
+        self.n_ways
+    }
+
+    /// Hardware storage estimate in bits, per the §III-E accounting: a
+    /// 27-bit LM count plus the 10-bit last-LM-index and 10-bit last-OV
+    /// -distance registers per counter.
+    pub fn storage_bits(&self) -> usize {
+        self.counters.len() * (27 + 2 * INSTRUCTION_INDEX_BITS as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Fig. 4, verbatim: loads arrive at the ATD in
+    /// the order LD1 (idx 5), LD3 (idx 33), LD2 (idx 20), LD4 (idx 90), all
+    /// predicted to miss allocation `w`.
+    ///
+    /// * S core (ROB 64): LD1 → first LM; LD3 → D=28 < 64 ⇒ OV;
+    ///   LD2 → D=15 < 64 but 15 < 28 ⇒ dependent ⇒ LM; LD4 → D=70 > 64 ⇒ LM.
+    ///   Three leading misses.
+    /// * M core (ROB 128): same first three decisions; LD4 → D=70 < 128
+    ///   with no prior OV ⇒ OV. Two leading misses.
+    #[test]
+    fn figure4_worked_example() {
+        let mut mon = MlpMonitor::table1();
+        for idx in [5u64, 33, 20, 90] {
+            mon.on_llc_load(idx, COLD);
+        }
+        for w in 2..=16 {
+            assert_eq!(mon.lm_count(CoreSize::S, w), 3, "S core, w={w}");
+            assert_eq!(mon.lm_count(CoreSize::M, w), 2, "M core, w={w}");
+            // L core (ROB 256) behaves like M here.
+            assert_eq!(mon.lm_count(CoreSize::L, w), 2, "L core, w={w}");
+        }
+        assert_eq!(mon.ov_count(CoreSize::S, 8), 1);
+        assert_eq!(mon.ov_count(CoreSize::M, 8), 2);
+    }
+
+    /// Step-by-step register evolution of the S-core counter from Fig. 4.
+    #[test]
+    fn figure4_decision_sequence() {
+        let mut ctr = Counter::new();
+        let rob = CoreSize::S.rob();
+        assert_eq!(ctr.classify(5, rob), LmDecision::Lead); // first LM
+        assert_eq!(ctr.classify(33, rob), LmDecision::Overlap); // D=28
+        assert_eq!(ctr.last_ov_dist, 28);
+        assert_eq!(ctr.classify(20, rob), LmDecision::Lead); // D=15 < 28
+        assert_eq!(ctr.last_lm_idx, 20);
+        assert_eq!(ctr.last_ov_dist, NONE);
+        assert_eq!(ctr.classify(90, rob), LmDecision::Lead); // D=70 ≥ 64
+        assert_eq!(ctr.lm, 3);
+        assert_eq!(ctr.ov, 1);
+    }
+
+    #[test]
+    fn larger_core_never_counts_more_leading_misses() {
+        // In-order arrivals: a bigger ROB can only merge more misses.
+        let mut mon = MlpMonitor::table1();
+        let mut idx = 0u64;
+        for step in [10u64, 40, 90, 17, 33, 200, 5, 70, 120, 61] {
+            idx += step;
+            mon.on_llc_load(idx, COLD);
+        }
+        for w in 2..=16 {
+            let s = mon.lm_count(CoreSize::S, w);
+            let m = mon.lm_count(CoreSize::M, w);
+            let l = mon.lm_count(CoreSize::L, w);
+            assert!(s >= m && m >= l, "w={w}: S={s} M={m} L={l}");
+        }
+    }
+
+    #[test]
+    fn hit_at_small_allocation_only_counts_for_smaller_ways() {
+        let mut mon = MlpMonitor::table1();
+        // Stack distance 5: misses w ∈ {2..=5}, hits w ∈ {6..=16}.
+        mon.on_llc_load(0, 5);
+        for w in 2..=5 {
+            assert_eq!(mon.miss_count(CoreSize::M, w), 1, "w={w}");
+        }
+        for w in 6..=16 {
+            assert_eq!(mon.miss_count(CoreSize::M, w), 0, "w={w}");
+        }
+    }
+
+    #[test]
+    fn dist_below_min_ways_is_ignored() {
+        let mut mon = MlpMonitor::table1();
+        mon.on_llc_load(0, 1); // hits even the 2-way allocation
+        for w in 2..=16 {
+            assert_eq!(mon.miss_count(CoreSize::L, w), 0);
+        }
+    }
+
+    #[test]
+    fn wrapping_distance_is_modular() {
+        let mut mon = MlpMonitor::table1();
+        // Last LM at window index 1000; next load at program index 1054
+        // (window index 30): wrapped distance (30 − 1000) mod 1024 = 54.
+        mon.on_llc_load(1000, COLD); // LM
+        mon.on_llc_load(1054, COLD); // D=54 < 64 ⇒ OV on S
+        assert_eq!(mon.lm_count(CoreSize::S, 8), 1);
+        assert_eq!(mon.ov_count(CoreSize::S, 8), 1);
+    }
+
+    #[test]
+    fn serial_arrivals_far_apart_are_all_leading() {
+        let mut mon = MlpMonitor::table1();
+        for i in 0..50u64 {
+            mon.on_llc_load(i * 300, COLD); // 300 ≥ every ROB
+        }
+        for c in CoreSize::ALL {
+            assert_eq!(mon.lm_count(c, 8), 50, "{c}");
+            assert!((mon.mlp(c, 8) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_independent_arrivals_give_high_mlp_on_big_cores() {
+        let mut mon = MlpMonitor::table1();
+        for i in 0..512u64 {
+            mon.on_llc_load(i * 8, COLD); // 8 instructions apart, in order
+        }
+        let s = mon.mlp(CoreSize::S, 8);
+        let l = mon.mlp(CoreSize::L, 8);
+        assert!(l > s, "L core must extract more MLP: S={s}, L={l}");
+        assert!(l >= 2.0);
+    }
+
+    #[test]
+    fn mlp_defaults_to_one_without_misses() {
+        let mon = MlpMonitor::table1();
+        assert_eq!(mon.mlp(CoreSize::M, 8), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_counts_and_registers() {
+        let mut mon = MlpMonitor::table1();
+        mon.on_llc_load(5, COLD);
+        mon.on_llc_load(12, COLD);
+        mon.reset();
+        assert_eq!(mon.lm_count(CoreSize::S, 8), 0);
+        // After reset the next load is a fresh "first LM".
+        mon.on_llc_load(13, COLD);
+        assert_eq!(mon.lm_count(CoreSize::S, 8), 1);
+        assert_eq!(mon.ov_count(CoreSize::S, 8), 0);
+    }
+
+    #[test]
+    fn storage_is_under_300_bytes_per_core() {
+        // §III-E: 3 sizes × 15–16 allocations ≈ 48 counters of ~47 bits
+        // ⇒ < 300 bytes.
+        let mon = MlpMonitor::table1();
+        assert!(mon.storage_bits() <= 300 * 8, "{} bits", mon.storage_bits());
+    }
+
+    #[test]
+    fn lm_matrix_shape_and_content() {
+        let mut mon = MlpMonitor::table1();
+        mon.on_llc_load(0, COLD);
+        mon.on_llc_load(500, COLD);
+        let m = mon.lm_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 15);
+        for (ci, row) in m.iter().enumerate() {
+            for (wi, &v) in row.iter().enumerate() {
+                let c = CoreSize::from_index(ci).unwrap();
+                assert_eq!(v, mon.lm_count(c, wi + 2));
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the cache substrate.
+
+use proptest::prelude::*;
+use triad_cache::{atd::COLD, Atd, MlpMonitor, SetAssocCache};
+use triad_arch::CoreSize;
+
+proptest! {
+    /// The load-bearing ATD property: for every address stream and every
+    /// allocation w, the ATD's stack-distance prediction must agree with a
+    /// real w-way LRU cache of the same set count (LRU inclusion).
+    #[test]
+    fn atd_predicts_every_lru_cache(
+        addrs in prop::collection::vec(0u64..512, 1..400),
+        ways in 1usize..8,
+    ) {
+        let sets = 8;
+        let mut atd = Atd::new(sets, 8);
+        let mut cache = SetAssocCache::new(sets, ways);
+        let mut direct_misses = 0u64;
+        for &a in &addrs {
+            let addr = a * 64;
+            let d = atd.access(addr);
+            let hit = cache.access(addr);
+            prop_assert_eq!(hit, d != COLD && (d as usize) < ways);
+            if !hit {
+                direct_misses += 1;
+            }
+        }
+        prop_assert_eq!(atd.miss_count(ways), direct_misses);
+    }
+
+    /// Miss curves are monotone non-increasing in the allocation.
+    #[test]
+    fn miss_curve_monotone(addrs in prop::collection::vec(0u64..4096, 1..600)) {
+        let mut atd = Atd::new(16, 16);
+        for &a in &addrs {
+            atd.access(a * 64);
+        }
+        let curve = atd.miss_curve();
+        for w in curve.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // And the hit+miss total is conserved.
+        prop_assert_eq!(atd.accesses(), addrs.len() as u64);
+    }
+
+    /// The MLP monitor never counts more leading misses than misses, and a
+    /// larger core never sees more leading misses on in-order feeds.
+    #[test]
+    fn monitor_lm_bounds(
+        steps in prop::collection::vec(1u64..400, 1..200),
+        dists in prop::collection::vec(0u8..18, 1..200),
+    ) {
+        let mut mon = MlpMonitor::table1();
+        let mut idx = 0u64;
+        for (s, d) in steps.iter().zip(&dists) {
+            idx += s;
+            let dist = if *d >= 16 { COLD } else { *d };
+            mon.on_llc_load(idx, dist);
+        }
+        for w in 2..=16 {
+            let misses = mon.miss_count(CoreSize::M, w);
+            for c in CoreSize::ALL {
+                prop_assert!(mon.lm_count(c, w) <= misses);
+                prop_assert!(mon.lm_count(c, w) + mon.ov_count(c, w) == misses);
+                prop_assert!(mon.mlp(c, w) >= 1.0);
+            }
+            // In-order arrivals: monotone in core size.
+            prop_assert!(mon.lm_count(CoreSize::S, w) >= mon.lm_count(CoreSize::M, w));
+            prop_assert!(mon.lm_count(CoreSize::M, w) >= mon.lm_count(CoreSize::L, w));
+        }
+    }
+
+    /// Cache behavior is purely functional in the access stream.
+    #[test]
+    fn cache_is_deterministic(addrs in prop::collection::vec(0u64..1024, 1..300)) {
+        let run = || {
+            let mut c = SetAssocCache::new(16, 4);
+            addrs.iter().map(|&a| c.access(a * 64)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,131 @@
+//! System-level planning: local plans → global partition → new settings.
+
+use crate::global::{optimize_partition, EnergyCurve};
+use crate::local::LocalPlan;
+use triad_arch::Setting;
+
+/// The RM's decision for the whole system after one invocation.
+#[derive(Debug, Clone)]
+pub struct RmDecision {
+    /// New setting per core.
+    pub settings: Vec<Setting>,
+    /// Predicted system energy per instruction (sum over cores).
+    pub predicted_energy: f64,
+    /// Model evaluations + reduction iterations (§III-E overhead proxy).
+    pub ops: u64,
+}
+
+/// Combine per-core local plans into the optimal system setting.
+///
+/// Falls back to `baseline` on every core when the global problem is
+/// infeasible — which cannot happen when each local plan kept its baseline
+/// allocation feasible, but is handled defensively.
+pub fn plan_system(plans: &[LocalPlan], total_ways: usize, baseline: Setting) -> RmDecision {
+    let curves: Vec<EnergyCurve> = plans
+        .iter()
+        .map(|p| EnergyCurve { min_w: p.min_w, energy: p.energy.clone() })
+        .collect();
+    let local_ops: u64 = plans.iter().map(|p| p.ops).sum();
+    match optimize_partition(&curves, total_ways) {
+        Some((ways, energy, global_ops)) => {
+            let settings: Vec<Setting> = plans
+                .iter()
+                .zip(&ways)
+                .map(|(p, &w)| p.setting_at(w).unwrap_or(baseline))
+                .collect();
+            RmDecision { settings, predicted_energy: energy, ops: local_ops + global_ops }
+        }
+        None => RmDecision {
+            settings: vec![baseline; plans.len()],
+            predicted_energy: f64::INFINITY,
+            ops: local_ops,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::{local_optimize, IntervalModel, RmKind};
+    use triad_arch::{CoreSize, DvfsGrid, SystemConfig};
+
+    /// Core 0 is cache-hungry; core 1 is cache-flat and memory-light.
+    struct Pair {
+        grid: DvfsGrid,
+        hungry: bool,
+    }
+
+    impl IntervalModel for Pair {
+        fn predict(&self, s: Setting) -> (f64, f64) {
+            let f = self.grid.point(s.vf).freq_hz;
+            let v = self.grid.point(s.vf).volt;
+            let mem = if self.hungry {
+                // Sharp knee at 12 ways.
+                if s.ways >= 12 {
+                    0.05e-9
+                } else {
+                    2.0e-9
+                }
+            } else {
+                0.05e-9
+            };
+            let t = 2.0 / (f / 1e9) * 1e-9 / s.core.dispatch_width() as f64 * 4.0 + mem;
+            let p = [1.1, 2.2, 4.3][s.core.index()] * v * v * (f / 2.0e9)
+                + [0.3, 0.6, 1.25][s.core.index()] * v;
+            (t, p * t)
+        }
+    }
+
+    #[test]
+    fn planner_shifts_ways_to_the_hungry_core() {
+        let sys = SystemConfig::table1(2);
+        let b = sys.baseline_setting();
+        let grid = sys.dvfs.clone();
+        let hungry = Pair { grid: grid.clone(), hungry: true };
+        let flat = Pair { grid: grid.clone(), hungry: false };
+        let p0 = local_optimize(&hungry, RmKind::Rm2, b, &grid, sys.way_range(), 1.0);
+        let p1 = local_optimize(&flat, RmKind::Rm2, b, &grid, sys.way_range(), 1.0);
+        let d = plan_system(&[p0, p1], sys.total_ways(), b);
+        assert_eq!(d.settings.len(), 2);
+        assert_eq!(d.settings[0].ways + d.settings[1].ways, 16);
+        assert!(
+            d.settings[0].ways >= 12,
+            "hungry core should receive the knee: {:?}",
+            d.settings
+        );
+        assert!(d.predicted_energy.is_finite());
+    }
+
+    #[test]
+    fn infeasible_plans_fall_back_to_baseline() {
+        let sys = SystemConfig::table1(2);
+        let b = sys.baseline_setting();
+        let plans: Vec<_> = (0..2)
+            .map(|_| crate::local::LocalPlan {
+                min_w: 2,
+                energy: vec![f64::INFINITY; 13],
+                setting: vec![None; 13],
+                ops: 1,
+            })
+            .collect();
+        let d = plan_system(&plans, sys.total_ways(), b);
+        assert_eq!(d.settings, vec![b, b]);
+        assert!(d.predicted_energy.is_infinite());
+    }
+
+    #[test]
+    fn ops_accumulate_local_and_global() {
+        let sys = SystemConfig::table1(4);
+        let b = sys.baseline_setting();
+        let grid = sys.dvfs.clone();
+        let flat = Pair { grid: grid.clone(), hungry: false };
+        let plans: Vec<_> = (0..4)
+            .map(|_| local_optimize(&flat, RmKind::Rm3, b, &grid, sys.way_range(), 1.0))
+            .collect();
+        let local: u64 = plans.iter().map(|p| p.ops).sum();
+        let d = plan_system(&plans, sys.total_ways(), b);
+        assert!(d.ops > local, "global reduction must add iterations");
+        assert_eq!(d.settings.iter().map(|s| s.ways).sum::<usize>(), 32);
+        let _ = CoreSize::ALL;
+    }
+}

@@ -1,0 +1,33 @@
+//! QoS predicate (Eq. 3) and violation magnitude (Eq. 6).
+
+/// Eq. 3: a target satisfies QoS iff its predicted time does not exceed
+/// `α ×` the predicted baseline time. The paper fixes `α = 1`.
+#[inline]
+pub fn qos_ok(t_target: f64, t_base: f64, alpha: f64) -> bool {
+    t_target <= t_base * alpha
+}
+
+/// Eq. 6: the relative violation magnitude, defined over *actual* times:
+/// `(T_act(target) − T_act(base)) / T_act(base)`.
+#[inline]
+pub fn violation_magnitude(t_act_target: f64, t_act_base: f64) -> f64 {
+    (t_act_target - t_act_base) / t_act_base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_boundary_is_inclusive() {
+        assert!(qos_ok(1.0, 1.0, 1.0));
+        assert!(!qos_ok(1.0 + 1e-9, 1.0, 1.0));
+        assert!(qos_ok(1.09, 1.0, 1.1));
+    }
+
+    #[test]
+    fn eq6_magnitude() {
+        assert!((violation_magnitude(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert!(violation_magnitude(0.9, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the resource-manager optimizers.
+
+use proptest::prelude::*;
+use triad_arch::{CoreSize, DvfsGrid, Setting};
+use triad_rm::{local_optimize, optimize_partition, EnergyCurve, IntervalModel, RmKind};
+
+fn curve_strategy(n: usize) -> impl Strategy<Value = Vec<EnergyCurve>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![9 => (0.01f64..10.0), 1 => Just(f64::INFINITY)],
+            15,
+        )
+        .prop_map(|energy| EnergyCurve { min_w: 2, energy }),
+        n..=n,
+    )
+}
+
+fn brute_force(curves: &[EnergyCurve], total: usize) -> Option<f64> {
+    fn rec(curves: &[EnergyCurve], i: usize, left: usize, acc: f64, best: &mut Option<f64>) {
+        if i == curves.len() {
+            if left == 0 && acc.is_finite() {
+                *best = Some(best.map_or(acc, |b: f64| b.min(acc)));
+            }
+            return;
+        }
+        let c = &curves[i];
+        for w in c.min_w..=c.max_w().min(left) {
+            rec(curves, i + 1, left - w, acc + c.at(w), best);
+        }
+    }
+    let mut best = None;
+    rec(curves, 0, total, 0.0, &mut best);
+    best
+}
+
+proptest! {
+    /// The recursive curve reduction is exactly optimal.
+    #[test]
+    fn global_optimizer_is_optimal(curves in curve_strategy(3)) {
+        let total = 24;
+        let fast = optimize_partition(&curves, total);
+        let slow = brute_force(&curves, total);
+        match (fast, slow) {
+            (Some((ws, e, _)), Some(eb)) => {
+                prop_assert!((e - eb).abs() < 1e-9);
+                prop_assert_eq!(ws.iter().sum::<usize>(), total);
+                let realized: f64 =
+                    ws.iter().enumerate().map(|(i, &w)| curves[i].at(w)).sum();
+                prop_assert!((realized - e).abs() < 1e-9);
+            }
+            (None, None) => {}
+            (f, s) => prop_assert!(false, "disagreement: {f:?} vs {s:?}"),
+        }
+    }
+}
+
+/// A randomized-but-lawful model for local-optimizer properties.
+struct RandModel {
+    grid: DvfsGrid,
+    mem: Vec<f64>,
+    compute_scale: f64,
+}
+
+impl IntervalModel for RandModel {
+    fn predict(&self, s: Setting) -> (f64, f64) {
+        let f = self.grid.point(s.vf).freq_hz;
+        let v = self.grid.point(s.vf).volt;
+        let t = self.compute_scale / f * 4.0 / s.core.dispatch_width() as f64
+            + self.mem[s.ways - 2];
+        let p = [1.4, 2.8, 5.5][s.core.index()] * v * v * (f / 2.0e9) + 0.5 * v;
+        (t, p * t)
+    }
+}
+
+proptest! {
+    /// Every local plan is feasible (meets the predicted QoS budget) and the
+    /// baseline allocation always stays feasible.
+    #[test]
+    fn local_plans_respect_qos(
+        mem in prop::collection::vec(1.0e-11f64..5e-10, 15),
+        compute in 0.3f64..3.0,
+    ) {
+        // Make the memory curve monotone non-increasing in ways.
+        let mut mem = mem;
+        mem.sort_by(|a, b| b.total_cmp(a));
+        let grid = DvfsGrid::table1();
+        let model = RandModel { grid: grid.clone(), mem, compute_scale: compute };
+        let baseline = Setting::new(CoreSize::M, grid.baseline, 8);
+        let (t_base, _) = model.predict(baseline);
+        for kind in RmKind::ALL {
+            let plan = local_optimize(&model, kind, baseline, &grid, 2..=16, 1.0);
+            prop_assert!(plan.energy_at(8).is_finite(), "{kind}");
+            for w in 2..=16 {
+                if let Some(s) = plan.setting_at(w) {
+                    let (t, e) = model.predict(s);
+                    prop_assert!(t <= t_base * (1.0 + 1e-12), "{kind} w={w}");
+                    prop_assert!((e - plan.energy_at(w)).abs() < 1e-15);
+                    prop_assert_eq!(s.ways, w);
+                }
+            }
+        }
+    }
+
+    /// RM3's search space contains RM2's, which contains RM1's settings:
+    /// plans can only improve along the hierarchy.
+    #[test]
+    fn controller_hierarchy_dominates(
+        mem in prop::collection::vec(1.0e-11f64..5e-10, 15),
+    ) {
+        let mut mem = mem;
+        mem.sort_by(|a, b| b.total_cmp(a));
+        let grid = DvfsGrid::table1();
+        let model = RandModel { grid: grid.clone(), mem, compute_scale: 1.0 };
+        let baseline = Setting::new(CoreSize::M, grid.baseline, 8);
+        let p1 = local_optimize(&model, RmKind::Rm1, baseline, &grid, 2..=16, 1.0);
+        let p2 = local_optimize(&model, RmKind::Rm2, baseline, &grid, 2..=16, 1.0);
+        let p3 = local_optimize(&model, RmKind::Rm3, baseline, &grid, 2..=16, 1.0);
+        let p3f = local_optimize(&model, RmKind::Rm3Full, baseline, &grid, 2..=16, 1.0);
+        for w in 2..=16 {
+            prop_assert!(p2.energy_at(w) <= p1.energy_at(w) + 1e-18);
+            prop_assert!(p3.energy_at(w) <= p2.energy_at(w) + 1e-18);
+            prop_assert!(p3f.energy_at(w) <= p3.energy_at(w) + 1e-18);
+        }
+    }
+}

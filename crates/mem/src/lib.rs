@@ -1,0 +1,190 @@
+//! # triad-mem — DRAM timing model
+//!
+//! Table I memory system: 100 ns base latency, a contention-queue model and
+//! 5 GB/s of bandwidth per core. The model is deliberately simple — a FIFO
+//! service queue in front of a fixed-latency device — because that is
+//! exactly what the paper simulates:
+//!
+//! * each request occupies the channel for `line / bandwidth`
+//!   (64 B / 5 GB/s = 12.8 ns);
+//! * a request arriving while the channel is busy queues behind the
+//!   outstanding ones;
+//! * completion is `queue delay + 100 ns` after arrival.
+//!
+//! The queue operates in *core cycles* so the out-of-order timing model can
+//! use it directly at any DVFS point: construct it per run with
+//! [`DramQueue::new`] giving the core frequency.
+
+/// Table I DRAM parameters (per core).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramParams {
+    /// Zero-load latency in seconds (100 ns).
+    pub base_latency_s: f64,
+    /// Peak bandwidth per core in bytes/second (5 GB/s).
+    pub bandwidth_bps: f64,
+    /// Transfer granularity in bytes (64 B line).
+    pub line_bytes: f64,
+}
+
+impl DramParams {
+    /// The paper's configuration.
+    pub const fn table1() -> Self {
+        DramParams { base_latency_s: 100e-9, bandwidth_bps: 5.0e9, line_bytes: 64.0 }
+    }
+
+    /// Channel occupancy per request, in seconds (12.8 ns).
+    pub fn service_time_s(&self) -> f64 {
+        self.line_bytes / self.bandwidth_bps
+    }
+}
+
+impl Default for DramParams {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// A FIFO contention queue in core-cycle units.
+#[derive(Debug, Clone)]
+pub struct DramQueue {
+    /// Base (zero-load) latency in cycles at the configured core frequency.
+    base_cycles: u64,
+    /// Channel occupancy per request in 1/1024ths of a cycle (fixed point,
+    /// keeping sub-cycle service times exact at high frequencies).
+    service_fp: u64,
+    /// Fixed-point cycle at which the channel becomes free.
+    next_free_fp: u64,
+    /// Requests observed.
+    pub requests: u64,
+    /// Total queueing delay in cycles (diagnostic; excludes base latency).
+    pub queue_cycles: u64,
+}
+
+const FP: u64 = 1024;
+
+impl DramQueue {
+    /// Create a queue for a core running at `freq_hz`.
+    pub fn new(params: DramParams, freq_hz: f64) -> Self {
+        DramQueue {
+            base_cycles: (params.base_latency_s * freq_hz).round() as u64,
+            service_fp: (params.service_time_s() * freq_hz * FP as f64).round() as u64,
+            next_free_fp: 0,
+            requests: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Issue a request at `arrival_cycle`; returns its completion cycle.
+    #[inline]
+    pub fn request(&mut self, arrival_cycle: u64) -> u64 {
+        let arrival_fp = arrival_cycle * FP;
+        let start = arrival_fp.max(self.next_free_fp);
+        self.next_free_fp = start + self.service_fp;
+        self.requests += 1;
+        let delay = (start - arrival_fp) / FP;
+        self.queue_cycles += delay;
+        arrival_cycle + delay + self.base_cycles
+    }
+
+    /// Zero-load latency in cycles.
+    pub fn base_cycles(&self) -> u64 {
+        self.base_cycles
+    }
+
+    /// Reset channel state and counters.
+    pub fn reset(&mut self) {
+        self.next_free_fp = 0;
+        self.requests = 0;
+        self.queue_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        let p = DramParams::table1();
+        assert!((p.base_latency_s - 100e-9).abs() < 1e-15);
+        assert!((p.service_time_s() - 12.8e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_load_latency_is_base() {
+        // 2 GHz: 100 ns = 200 cycles.
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        assert_eq!(q.base_cycles(), 200);
+        assert_eq!(q.request(1000), 1200);
+        // A request long after: still zero-load.
+        assert_eq!(q.request(100_000), 100_200);
+        assert_eq!(q.queue_cycles, 0);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue_at_service_rate() {
+        // 2 GHz: service = 12.8 ns = 25.6 cycles.
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        let c0 = q.request(0);
+        let c1 = q.request(0);
+        let c2 = q.request(0);
+        assert_eq!(c0, 200);
+        // Second starts 25.6 cycles later → 25 whole cycles of delay.
+        assert_eq!(c1, 225);
+        assert_eq!(c2, 251);
+        assert!(q.queue_cycles > 0);
+    }
+
+    #[test]
+    fn saturated_stream_throughput_matches_bandwidth() {
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        let n = 10_000u64;
+        let mut last = 0;
+        for _ in 0..n {
+            last = q.request(0);
+        }
+        // n lines at 12.8 ns each = 128 µs = 256_000 cycles (+base).
+        let expected = (n as f64 * 25.6) as u64 + 200;
+        assert!((last as i64 - expected as i64).abs() < 32, "{last} vs {expected}");
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        for i in 0..100u64 {
+            let arrival = i * 1000; // far beyond the 25.6-cycle service time
+            assert_eq!(q.request(arrival), arrival + 200);
+        }
+        assert_eq!(q.queue_cycles, 0);
+    }
+
+    #[test]
+    fn completion_is_monotone_for_fifo_arrivals() {
+        let mut q = DramQueue::new(DramParams::table1(), 3.25e9);
+        let mut prev = 0;
+        for i in 0..1000u64 {
+            let c = q.request(i * 3);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn frequency_scales_cycle_counts() {
+        let q1 = DramQueue::new(DramParams::table1(), 1.0e9);
+        let q3 = DramQueue::new(DramParams::table1(), 3.0e9);
+        assert_eq!(q1.base_cycles(), 100);
+        assert_eq!(q3.base_cycles(), 300);
+    }
+
+    #[test]
+    fn reset_clears_channel() {
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        for _ in 0..100 {
+            q.request(0);
+        }
+        q.reset();
+        assert_eq!(q.request(0), 200);
+        assert_eq!(q.requests, 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Calibration report: run the paper's §IV-C classification criteria over
+//! the whole application suite and compare against Table II. This is the
+//! tool used to calibrate (and re-verify) the synthetic application
+//! library; `tests/table2_census.rs` enforces the same contract in CI.
+use triad_phasedb::{build_suite, characterize_app, DbConfig};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let db = build_suite(&DbConfig::default());
+    eprintln!("db built in {:.1}s", t0.elapsed().as_secs_f64());
+    let mut ok = 0;
+    println!("{:<11} {:>7} {:>7} {:>7}  {:>5} {:>5} {:>5}  {:<6} {:<6} match",
+             "app", "mpki4", "mpki8", "mpki12", "mlpS", "mlpM", "mlpL", "expect", "derive");
+    for e in &db.apps {
+        let c = characterize_app(e);
+        let m = c.derived == c.expected;
+        if m { ok += 1; }
+        println!(
+            "{:<11} {:>7.2} {:>7.2} {:>7.2}  {:>5.2} {:>5.2} {:>5.2}  {:<6} {:<6} {}",
+            c.name, c.mpki[0], c.mpki[1], c.mpki[2], c.mlp[0], c.mlp[1], c.mlp[2],
+            c.expected.label(), c.derived.label(), if m { "ok" } else { "MISMATCH" }
+        );
+    }
+    println!("{ok}/27 match Table II");
+}

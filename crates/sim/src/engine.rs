@@ -1,0 +1,577 @@
+//! The interval-event RM simulator (Fig. 5).
+//!
+//! Each core replays its application's per-interval phase trace against the
+//! detailed-simulation database. The global event is always "the core that
+//! finishes its current 100M-instruction interval first"; at that instant
+//! the finishing core's monitor statistics are refreshed, its energy curve
+//! regenerated, the global optimization re-run over the (cached) curves of
+//! all cores, and the new system setting applied — with DVFS-transition,
+//! core-resize and RM-software overheads charged when enabled (§III-E).
+//!
+//! Energy bookkeeping follows §IV-D1: each application's core and memory
+//! energy counts until it has executed the suite-maximum instruction count
+//! (the paper's 4146B; applications restart when they finish early), and
+//! the uncore (LLC + NoC) energy accrues until the end of the simulation.
+
+use crate::perfect::PerfectModel;
+use triad_arch::{
+    CoreId, Setting, SystemConfig, DVFS_TRANSITION_ENERGY_J, DVFS_TRANSITION_TIME_S,
+};
+use triad_energy::{resize_drain_time_s, EnergyModel};
+use triad_mem::DramParams;
+use triad_phasedb::{AppDbEntry, PhaseDb, PhaseRecord};
+use triad_rm::{
+    local_optimize, plan_system, LocalPlan, ModelKind, Observation, OnlineModel, RmKind,
+};
+
+/// Which predictor the RM uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimModel {
+    /// One of the paper's online analytical models.
+    Online(ModelKind),
+    /// Ground-truth lookups of the next interval (Fig. 2 / Fig. 9 bound).
+    Perfect,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The controller; `None` = idle RM (baseline pinned — the reference
+    /// for energy savings).
+    pub rm: Option<RmKind>,
+    /// Predictor flavor.
+    pub model: SimModel,
+    /// Charge DVFS/resize/RM-execution overheads (§III-E).
+    pub overheads: bool,
+    /// QoS slack `α` (Eq. 3).
+    pub alpha: f64,
+    /// Instructions per RM interval (Table I: 100M).
+    pub interval_insts: f64,
+    /// Target instruction count per application, in intervals of the
+    /// sequence; the paper uses the suite maximum (4146B instructions).
+    pub target_intervals: usize,
+    /// RM software instructions charged per model evaluation / reduction
+    /// iteration (calibrated so an 8-core RM3 invocation costs ≈100K
+    /// instructions, §III-E).
+    pub rm_instr_per_op: f64,
+}
+
+impl SimConfig {
+    /// Configuration used by the paper's headline results: the given RM and
+    /// model, overheads on.
+    pub fn evaluation(rm: RmKind, model: SimModel) -> Self {
+        SimConfig {
+            rm: Some(rm),
+            model,
+            overheads: true,
+            alpha: triad_arch::QOS_ALPHA,
+            interval_insts: 100e6,
+            target_intervals: max_suite_intervals(),
+            rm_instr_per_op: 25.0,
+        }
+    }
+
+    /// The idle-RM reference (baseline setting until the end).
+    pub fn idle() -> Self {
+        SimConfig { rm: None, ..Self::evaluation(RmKind::Rm3, SimModel::Perfect) }
+    }
+
+    /// Perfect-model configuration without overheads (Fig. 2's
+    /// "perfect assumptions regarding modeling accuracy and overheads").
+    pub fn perfect(rm: RmKind) -> Self {
+        SimConfig { overheads: false, ..Self::evaluation(rm, SimModel::Perfect) }
+    }
+}
+
+/// The suite-maximum application length in intervals (the paper's "4146B
+/// instructions as the longest application").
+pub fn max_suite_intervals() -> usize {
+    triad_trace::suite().iter().map(|a| a.n_intervals()).max().unwrap()
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total counted energy (per-app core+memory until target, plus uncore
+    /// until the end), joules.
+    pub total_energy_j: f64,
+    /// Core + memory part.
+    pub core_mem_energy_j: f64,
+    /// Uncore part.
+    pub uncore_energy_j: f64,
+    /// Wall-clock end of simulation, seconds.
+    pub sim_time_s: f64,
+    /// RM invocations performed.
+    pub rm_invocations: u64,
+    /// Total RM algorithm operations (model evaluations + reduction
+    /// iterations).
+    pub rm_ops: u64,
+    /// Completed intervals whose actual time exceeded the actual baseline
+    /// time for the same phase (QoS violations observed online).
+    pub qos_violations: u64,
+    /// Completed intervals checked.
+    pub intervals_checked: u64,
+    /// Mean relative violation magnitude over violating intervals (Eq. 6).
+    pub mean_violation: f64,
+}
+
+impl SimResult {
+    /// Energy savings of `self` relative to a reference (idle-RM) run.
+    pub fn savings_vs(&self, idle: &SimResult) -> f64 {
+        1.0 - self.total_energy_j / idle.total_energy_j
+    }
+}
+
+/// Per-core live state.
+struct Core<'a> {
+    entry: &'a AppDbEntry,
+    setting: Setting,
+    /// Interval index within the (restarting) sequence.
+    seq_pos: usize,
+    /// Instructions completed in the current interval.
+    insts_done: f64,
+    /// Total instructions executed (across restarts).
+    total_insts: f64,
+    /// Stall time still to burn before instructions progress (overheads).
+    stall_s: f64,
+    /// Counted core+memory energy.
+    energy_j: f64,
+    /// Whether this app's energy is still being counted (until target).
+    counting: bool,
+    /// Cached local plan from the core's last completed interval.
+    plan: Option<LocalPlan>,
+    /// Setting at the start of the current interval (for QoS checks).
+    interval_setting: Setting,
+    /// Violation bookkeeping.
+    violations: u64,
+    checked: u64,
+    violation_sum: f64,
+}
+
+impl<'a> Core<'a> {
+    fn record(&self) -> &'a PhaseRecord {
+        let phase = self.entry.spec.sequence[self.seq_pos % self.entry.spec.sequence.len()];
+        &self.entry.records[phase]
+    }
+
+    /// Ground-truth seconds/instruction at the current setting.
+    fn tpi(&self, sys: &SystemConfig) -> f64 {
+        let vf = sys.dvfs.point(self.setting.vf);
+        self.record().tpi(self.setting.core, vf.freq_hz, self.setting.ways)
+    }
+
+    /// Ground-truth joules/instruction at the current setting.
+    fn epi(&self, sys: &SystemConfig, em: &EnergyModel) -> f64 {
+        let vf = sys.dvfs.point(self.setting.vf);
+        self.record().energy_pi(self.setting.core, vf, self.setting.ways, em)
+    }
+
+    /// Time until this core completes its current interval.
+    fn time_to_finish(&self, sys: &SystemConfig, interval: f64) -> f64 {
+        self.stall_s + (interval - self.insts_done) * self.tpi(sys)
+    }
+}
+
+/// The RM simulator.
+pub struct Simulator<'a> {
+    /// System description (core count, grids, geometry).
+    pub sys: SystemConfig,
+    /// Detailed-simulation database.
+    pub db: &'a PhaseDb,
+    /// Power/energy model.
+    pub em: EnergyModel,
+    /// Run configuration.
+    pub cfg: SimConfig,
+    /// Memory latency for the online models (Eq. 2), seconds.
+    pub lmem_s: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator for an `n_cores` Table I system.
+    pub fn new(db: &'a PhaseDb, n_cores: usize, cfg: SimConfig) -> Self {
+        Simulator {
+            sys: SystemConfig::table1(n_cores),
+            db,
+            em: EnergyModel::default_model(),
+            cfg,
+            lmem_s: DramParams::table1().base_latency_s,
+        }
+    }
+
+    /// Run a workload (one application name per core) to completion.
+    pub fn run(&self, app_names: &[&str]) -> SimResult {
+        assert_eq!(app_names.len(), self.sys.n_cores, "one application per core");
+        let baseline = self.sys.baseline_setting();
+        let mut cores: Vec<Core<'a>> = app_names
+            .iter()
+            .map(|name| {
+                let entry = self
+                    .db
+                    .app(name)
+                    .unwrap_or_else(|| panic!("application {name} missing from the database"));
+                Core {
+                    entry,
+                    setting: baseline,
+                    seq_pos: 0,
+                    insts_done: 0.0,
+                    total_insts: 0.0,
+                    stall_s: 0.0,
+                    energy_j: 0.0,
+                    counting: true,
+                    plan: None,
+                    interval_setting: baseline,
+                    violations: 0,
+                    checked: 0,
+                    violation_sum: 0.0,
+                }
+            })
+            .collect();
+
+        let interval = self.cfg.interval_insts;
+        let target_insts = self.cfg.target_intervals as f64 * interval;
+        let mut now = 0.0f64;
+        let mut rm_invocations = 0u64;
+        let mut rm_ops = 0u64;
+
+        while cores.iter().any(|c| c.total_insts < target_insts) {
+            // Next event: the earliest interval completion.
+            let (j, dt) = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.time_to_finish(&self.sys, interval)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+
+            // Advance every core by dt, accruing energy.
+            for c in cores.iter_mut() {
+                let mut t = dt;
+                if c.stall_s > 0.0 {
+                    let burn = c.stall_s.min(t);
+                    c.stall_s -= burn;
+                    t -= burn;
+                }
+                if t <= 0.0 {
+                    continue;
+                }
+                let tpi = c.tpi(&self.sys);
+                let insts = t / tpi;
+                if c.counting {
+                    // Prorate the crossing interval so energy is counted
+                    // exactly up to the target instruction count.
+                    let countable = (target_insts - c.total_insts).clamp(0.0, insts);
+                    c.energy_j += countable * c.epi(&self.sys, &self.em);
+                    if c.total_insts + insts >= target_insts {
+                        c.counting = false;
+                    }
+                }
+                c.insts_done += insts;
+                c.total_insts += insts;
+            }
+            now += dt;
+
+            // The finishing core completes its interval.
+            let finished_setting = cores[j].interval_setting;
+            {
+                let c = &mut cores[j];
+                // Online QoS check: actual time at the chosen setting vs the
+                // actual time the baseline would have taken on this phase.
+                let rec = c.record();
+                let vf = self.sys.dvfs.point(finished_setting.vf);
+                let t_act =
+                    rec.tpi(finished_setting.core, vf.freq_hz, finished_setting.ways);
+                let bvf = self.sys.dvfs.point(baseline.vf);
+                let t_base = rec.tpi(baseline.core, bvf.freq_hz, baseline.ways);
+                c.checked += 1;
+                if t_act > t_base * self.cfg.alpha * (1.0 + 1e-9) {
+                    c.violations += 1;
+                    c.violation_sum += (t_act - t_base) / t_base;
+                }
+                c.seq_pos += 1;
+                c.insts_done = 0.0;
+            }
+
+            // Invoke the RM on the finishing core (Fig. 5).
+            if let Some(kind) = self.cfg.rm {
+                rm_invocations += 1;
+                let ops = self.invoke_rm(&mut cores, j, kind, baseline, now);
+                rm_ops += ops;
+            } else {
+                cores[j].interval_setting = cores[j].setting;
+            }
+        }
+
+        let core_mem: f64 = cores.iter().map(|c| c.energy_j).sum();
+        let uncore = self.em.uncore_energy(self.sys.n_cores, now);
+        let violations: u64 = cores.iter().map(|c| c.violations).sum();
+        let checked: u64 = cores.iter().map(|c| c.checked).sum();
+        let vsum: f64 = cores.iter().map(|c| c.violation_sum).sum();
+        SimResult {
+            total_energy_j: core_mem + uncore,
+            core_mem_energy_j: core_mem,
+            uncore_energy_j: uncore,
+            sim_time_s: now,
+            rm_invocations,
+            rm_ops,
+            qos_violations: violations,
+            intervals_checked: checked,
+            mean_violation: if violations > 0 { vsum / violations as f64 } else { 0.0 },
+        }
+    }
+
+    /// Refresh core `j`'s energy curve, re-run the global optimization and
+    /// apply the new system setting (charging overheads).
+    fn invoke_rm(
+        &self,
+        cores: &mut [Core<'a>],
+        j: CoreId,
+        kind: RmKind,
+        baseline: Setting,
+        _now: f64,
+    ) -> u64 {
+        // The interval just completed ran (mostly) at `interval_setting`;
+        // its monitor statistics are what the RM reads. The phase that just
+        // executed is at seq_pos − 1.
+        let just = cores[j].seq_pos - 1;
+        let phase = cores[j].entry.spec.sequence[just % cores[j].entry.spec.sequence.len()];
+        let rec: &PhaseRecord = &cores[j].entry.records[phase];
+        let cur = cores[j].interval_setting;
+        let vf = self.sys.dvfs.point(cur.vf);
+        let util = rec.util(cur.core, vf.freq_hz, cur.ways);
+        let sampled_dyn = self.em.core_dynamic_power(cur.core, vf, util);
+
+        let plan = match self.cfg.model {
+            SimModel::Online(mk) => {
+                let model = OnlineModel {
+                    obs: Observation {
+                        stats: rec.monitor_at(cur.core, cur.ways),
+                        miss_curve_pi: &rec.miss_curve_pi,
+                        load_miss_curve_pi: &rec.load_miss_curve_pi,
+                        current: cur,
+                        sampled_dyn_w: sampled_dyn,
+                    },
+                    kind: mk,
+                    grid: &self.sys.dvfs,
+                    energy: &self.em,
+                    lmem_s: self.lmem_s,
+                };
+                local_optimize(&model, kind, baseline, &self.sys.dvfs, self.sys.way_range(), self.cfg.alpha)
+            }
+            SimModel::Perfect => {
+                // Perfect assumptions: the *next* interval's phase is known.
+                let next_phase = cores[j].entry.spec.sequence
+                    [cores[j].seq_pos % cores[j].entry.spec.sequence.len()];
+                let model = PerfectModel {
+                    next: &cores[j].entry.records[next_phase],
+                    grid: &self.sys.dvfs,
+                    energy: &self.em,
+                };
+                local_optimize(&model, kind, baseline, &self.sys.dvfs, self.sys.way_range(), self.cfg.alpha)
+            }
+        };
+        cores[j].plan = Some(plan);
+
+        // Cores that have not yet completed an interval are pinned to the
+        // baseline allocation (a curve feasible only at the baseline ways).
+        let nw = self.sys.n_way_choices();
+        let min_w = *self.sys.way_range().start();
+        let plans: Vec<LocalPlan> = cores
+            .iter()
+            .map(|c| match &c.plan {
+                Some(p) => p.clone(),
+                None => {
+                    let mut energy = vec![f64::INFINITY; nw];
+                    let mut setting = vec![None; nw];
+                    energy[baseline.ways - min_w] = 0.0;
+                    setting[baseline.ways - min_w] = Some(baseline);
+                    LocalPlan { min_w, energy, setting, ops: 0 }
+                }
+            })
+            .collect();
+        let decision = plan_system(&plans, self.sys.total_ways(), baseline);
+
+        // Apply, charging transition overheads.
+        let mut ops = decision.ops;
+        for (c, &new_setting) in cores.iter_mut().zip(&decision.settings) {
+            let old = c.setting;
+            if self.cfg.overheads {
+                if new_setting.vf != old.vf {
+                    c.stall_s += DVFS_TRANSITION_TIME_S;
+                    if c.counting {
+                        c.energy_j += DVFS_TRANSITION_ENERGY_J;
+                    }
+                }
+                if new_setting.core != old.core {
+                    let rec = c.record();
+                    let f = self.sys.dvfs.point(old.vf).freq_hz;
+                    let ipc = rec.ipc(old.core, f, old.ways);
+                    c.stall_s += resize_drain_time_s(old.core, ipc, f);
+                }
+            }
+            c.setting = new_setting;
+        }
+        // RM software runs on the invoking core.
+        if self.cfg.overheads {
+            let rm_insts = decision.ops as f64 * self.cfg.rm_instr_per_op;
+            let c = &mut cores[j];
+            let tpi = c.tpi(&self.sys);
+            let t = rm_insts * tpi;
+            c.stall_s += t;
+            if c.counting {
+                c.energy_j += rm_insts * c.epi(&self.sys, &self.em);
+            }
+            ops += 0;
+        }
+        // The new interval of the finishing core starts at the new setting.
+        cores[j].interval_setting = cores[j].setting;
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_phasedb::{build_apps, DbConfig};
+
+    fn small_db() -> PhaseDb {
+        let names = ["mcf", "libquantum", "povray", "gcc", "lbm"];
+        let apps: Vec<_> =
+            triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
+        build_apps(&apps, &DbConfig::fast())
+    }
+
+    fn quick(cfg: SimConfig) -> SimConfig {
+        SimConfig { target_intervals: 8, ..cfg }
+    }
+
+    #[test]
+    fn idle_rm_keeps_baseline_and_counts_energy() {
+        let db = small_db();
+        let sim = Simulator::new(&db, 2, quick(SimConfig::idle()));
+        let r = sim.run(&["mcf", "povray"]);
+        assert!(r.total_energy_j > 0.0);
+        assert_eq!(r.rm_invocations, 0);
+        assert_eq!(r.qos_violations, 0, "the baseline cannot violate itself");
+        assert!(r.sim_time_s > 0.0);
+        assert!(r.uncore_energy_j > 0.0);
+    }
+
+    #[test]
+    fn idle_energy_matches_closed_form_for_single_phase_apps() {
+        // libquantum and lbm are single-phase apps: idle-RM energy until
+        // the target is exactly target_insts × energy_pi(baseline), plus
+        // uncore over the simulated span.
+        let db = small_db();
+        let cfg = quick(SimConfig::idle());
+        let sim = Simulator::new(&db, 2, cfg.clone());
+        let r = sim.run(&["libquantum", "lbm"]);
+        let b = sim.sys.baseline_setting();
+        let vf = sim.sys.dvfs.point(b.vf);
+        let target = cfg.target_intervals as f64 * cfg.interval_insts;
+        let expected: f64 = ["libquantum", "lbm"]
+            .iter()
+            .map(|n| {
+                let rec = &db.app(n).unwrap().records[0];
+                target * rec.energy_pi(b.core, vf, b.ways, &sim.em)
+            })
+            .sum();
+        assert!(
+            (r.core_mem_energy_j - expected).abs() / expected < 1e-9,
+            "{} vs {expected}",
+            r.core_mem_energy_j
+        );
+        // Sim time = slowest app's time to target.
+        let expected_t: f64 = ["libquantum", "lbm"]
+            .iter()
+            .map(|n| {
+                let rec = &db.app(n).unwrap().records[0];
+                target * rec.tpi(b.core, vf.freq_hz, b.ways)
+            })
+            .fold(0.0, f64::max);
+        assert!((r.sim_time_s - expected_t).abs() / expected_t < 1e-9);
+    }
+
+    #[test]
+    fn rm3_perfect_saves_energy_and_respects_qos() {
+        let db = small_db();
+        let idle = Simulator::new(&db, 2, quick(SimConfig::idle())).run(&["mcf", "povray"]);
+        let rm3 = Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3)))
+            .run(&["mcf", "povray"]);
+        let s = rm3.savings_vs(&idle);
+        assert!(s > 0.0, "RM3 with a perfect model must save energy: {s}");
+        assert_eq!(rm3.qos_violations, 0, "perfect model cannot violate QoS");
+        assert!(rm3.rm_invocations > 0);
+    }
+
+    #[test]
+    fn savings_ordering_rm3_geq_rm2_geq_rm1_under_perfect_model() {
+        let db = small_db();
+        let idle = Simulator::new(&db, 2, quick(SimConfig::idle())).run(&["mcf", "gcc"]);
+        let mut prev = -1.0;
+        for kind in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
+            let r = Simulator::new(&db, 2, quick(SimConfig::perfect(kind))).run(&["mcf", "gcc"]);
+            let s = r.savings_vs(&idle);
+            assert!(
+                s >= prev - 0.005,
+                "{kind} savings {s} must not fall below the smaller controller's {prev}"
+            );
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn ways_always_sum_to_total_associativity() {
+        // Indirectly validated: a run that completes implies every
+        // plan_system call produced a feasible partition (the planner
+        // asserts Σw = A in its own tests); here we check the run finishes
+        // and the RM was exercised.
+        let db = small_db();
+        let r = Simulator::new(&db, 4, quick(SimConfig::evaluation(RmKind::Rm3, SimModel::Perfect)))
+            .run(&["mcf", "libquantum", "povray", "gcc"]);
+        assert!(r.rm_invocations >= 4 * 7);
+    }
+
+    #[test]
+    fn overheads_cost_energy_or_time() {
+        let db = small_db();
+        let names = ["mcf", "libquantum"];
+        let without =
+            Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3))).run(&names);
+        let mut cfg = quick(SimConfig::perfect(RmKind::Rm3));
+        cfg.overheads = true;
+        let with = Simulator::new(&db, 2, cfg).run(&names);
+        assert!(
+            with.total_energy_j >= without.total_energy_j * 0.999,
+            "overheads must not reduce energy: {} vs {}",
+            with.total_energy_j,
+            without.total_energy_j
+        );
+        assert!(with.sim_time_s >= without.sim_time_s * 0.999);
+    }
+
+    #[test]
+    fn online_model3_runs_and_saves() {
+        let db = small_db();
+        let names = ["mcf", "povray"];
+        let idle = Simulator::new(&db, 2, quick(SimConfig::idle())).run(&names);
+        let r = Simulator::new(
+            &db,
+            2,
+            quick(SimConfig::evaluation(RmKind::Rm3, SimModel::Online(ModelKind::Model3))),
+        )
+        .run(&names);
+        let s = r.savings_vs(&idle);
+        assert!(s > -0.05, "online RM3 should not waste energy: {s}");
+        assert!(r.intervals_checked > 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let db = small_db();
+        let cfg = quick(SimConfig::evaluation(RmKind::Rm3, SimModel::Online(ModelKind::Model2)));
+        let a = Simulator::new(&db, 2, cfg.clone()).run(&["gcc", "libquantum"]);
+        let b = Simulator::new(&db, 2, cfg).run(&["gcc", "libquantum"]);
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+        assert_eq!(a.rm_ops, b.rm_ops);
+        assert_eq!(a.qos_violations, b.qos_violations);
+    }
+}

@@ -1,0 +1,33 @@
+//! # triad-sim — the multi-core RM simulator and experiment drivers
+//!
+//! The paper evaluates its resource managers with an in-house interval
+//! simulator (Fig. 5): per-application phase traces are replayed against the
+//! detailed-simulation database, a global event queue advances whichever
+//! core finishes its 100M-instruction interval first, and the RM is invoked
+//! at every such event to re-optimize the whole system. This crate is that
+//! simulator, plus everything §IV needs around it:
+//!
+//! * [`engine`] — the event loop with overhead accounting (DVFS transition,
+//!   core-resize drain, RM software execution) and the paper's energy
+//!   bookkeeping (§IV-D1: per-app core+memory energy until the app reaches
+//!   the suite-maximum instruction count, plus uncore energy to the end);
+//! * [`perfect`] — the ground-truth interval model (database lookups of the
+//!   *next* interval), used for Fig. 2 and the "perfect" bars of Fig. 9;
+//! * [`workload`] — Fig. 1: category-mix cells, their probabilities
+//!   (`n_A·n_B/27²`), the scenario classes S1–S4 with weights
+//!   47/22.1/22.1/8.8 %, and the §IV-C random workload generator;
+//! * [`qos_eval`] — the Fig. 7/8 evaluation: violation probability,
+//!   expected magnitude and distribution over all phases × current ×
+//!   target settings, weighted by SimPoint phase weights;
+//! * [`experiments`] — drivers that regenerate Fig. 2, Fig. 6 and Fig. 9.
+
+pub mod engine;
+pub mod experiments;
+pub mod perfect;
+pub mod qos_eval;
+pub mod workload;
+
+pub use engine::{SimConfig, SimModel, SimResult, Simulator};
+pub use perfect::PerfectModel;
+pub use qos_eval::{evaluate_models, QosEvaluation};
+pub use workload::{generate_workloads, scenario_of_pair, Scenario, Workload};

@@ -1,0 +1,192 @@
+//! QoS-violation evaluation (§IV-D2, Figs. 7–8).
+//!
+//! A target setting chosen for interval `i+1` *violates* QoS when the model
+//! predicted it would meet the baseline time but the actual execution
+//! exceeds it:
+//!
+//! 1. actual:    `T_act(target) > T_act(base)`;
+//! 2. predicted: `T_pred(target) ≤ T_pred(base)`;
+//! 3. the target was selected by the RM — approximated, as in the paper, by
+//!    uniform selection probability over targets.
+//!
+//! The evaluation iterates over all phases of all applications (weighted by
+//! the SimPoint phase weights), all current settings (which determine the
+//! monitor statistics the model reads) and all target settings, and
+//! reports the violation probability, the expected violation magnitude
+//! (Eq. 6), its standard deviation and the magnitude histogram (Fig. 8).
+//!
+//! Predictions of the online models do not depend on the current VF point
+//! (cycle counters are frequency-invariant and Eq. 2 is frequency-free), so
+//! the current-setting space is `(c, w)`; targets span the full
+//! `(c, f, w)` grid.
+
+use triad_arch::{CoreSize, Setting, SystemConfig};
+use triad_energy::EnergyModel;
+use triad_mem::DramParams;
+use triad_phasedb::{PhaseDb, W_MAX, W_MIN};
+use triad_rm::{IntervalModel, ModelKind, Observation, OnlineModel};
+
+/// Aggregated violation statistics for one model.
+#[derive(Debug, Clone)]
+pub struct QosEvaluation {
+    /// Probability that a (phase, current, target) triple is a violation.
+    pub probability: f64,
+    /// Expected violation magnitude (Eq. 6) over violating triples.
+    pub expected_violation: f64,
+    /// Standard deviation of the violation magnitude.
+    pub std_violation: f64,
+    /// Weighted histogram of violation magnitudes; bin `k` covers
+    /// `[k·bin_width, (k+1)·bin_width)`.
+    pub histogram: Vec<f64>,
+    /// Histogram bin width (relative violation units).
+    pub bin_width: f64,
+}
+
+impl QosEvaluation {
+    /// Histogram normalized so the largest bin equals 1 (Fig. 8's y-axis is
+    /// normalized to the maximum across models; apply that externally).
+    pub fn histogram_max(&self) -> f64 {
+        self.histogram.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Number of histogram bins (up to 50 % violation at 2.5 % steps).
+const N_BINS: usize = 20;
+/// Histogram bin width.
+const BIN_WIDTH: f64 = 0.025;
+
+/// Evaluate one model over the whole database.
+pub fn evaluate_model(db: &PhaseDb, kind: ModelKind, sys: &SystemConfig) -> QosEvaluation {
+    let em = EnergyModel::default_model();
+    let lmem = DramParams::table1().base_latency_s;
+    let baseline = sys.baseline_setting();
+    let bvf = sys.dvfs.point(baseline.vf);
+
+    let mut total_w = 0.0f64;
+    let mut viol_w = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let mut histogram = vec![0.0f64; N_BINS];
+
+    let app_w = 1.0 / db.apps.len() as f64;
+    for entry in &db.apps {
+        let weights = entry.spec.phase_weights();
+        for (rec, &pw) in entry.records.iter().zip(&weights) {
+            let t_act_base = rec.tpi(baseline.core, bvf.freq_hz, baseline.ways);
+            // Current settings: (c, w); uniform probability.
+            let n_cur = (CoreSize::COUNT * (W_MAX - W_MIN + 1)) as f64;
+            for cur_c in CoreSize::ALL {
+                for cur_w in W_MIN..=W_MAX {
+                    let cur = Setting::new(cur_c, baseline.vf, cur_w);
+                    let model = OnlineModel {
+                        obs: Observation {
+                            stats: rec.monitor_at(cur_c, cur_w),
+                            miss_curve_pi: &rec.miss_curve_pi,
+                            load_miss_curve_pi: &rec.load_miss_curve_pi,
+                            current: cur,
+                            sampled_dyn_w: 1.0,
+                        },
+                        kind,
+                        grid: &sys.dvfs,
+                        energy: &em,
+                        lmem_s: lmem,
+                    };
+                    let (t_pred_base, _) = model.predict(baseline);
+                    // Targets: full (c, f, w) grid; uniform probability.
+                    let n_tgt = (CoreSize::COUNT * sys.dvfs.len() * (W_MAX - W_MIN + 1)) as f64;
+                    let w_triple = app_w * pw / (n_cur * n_tgt);
+                    for tc in CoreSize::ALL {
+                        for tf in 0..sys.dvfs.len() {
+                            for tw in W_MIN..=W_MAX {
+                                let tgt = Setting::new(tc, tf, tw);
+                                total_w += w_triple;
+                                let (t_pred, _) = model.predict(tgt);
+                                if t_pred > t_pred_base {
+                                    continue; // the RM would not select it
+                                }
+                                let tvf = sys.dvfs.point(tf);
+                                let t_act = rec.tpi(tc, tvf.freq_hz, tw);
+                                if t_act > t_act_base {
+                                    let v = (t_act - t_act_base) / t_act_base;
+                                    viol_w += w_triple;
+                                    sum += w_triple * v;
+                                    sum2 += w_triple * v * v;
+                                    let bin = ((v / BIN_WIDTH) as usize).min(N_BINS - 1);
+                                    histogram[bin] += w_triple;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let probability = viol_w / total_w;
+    let (expected, std) = if viol_w > 0.0 {
+        let mean = sum / viol_w;
+        let var = (sum2 / viol_w - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    } else {
+        (0.0, 0.0)
+    };
+    QosEvaluation {
+        probability,
+        expected_violation: expected,
+        std_violation: std,
+        histogram,
+        bin_width: BIN_WIDTH,
+    }
+}
+
+/// Evaluate all three online models (Fig. 7).
+pub fn evaluate_models(db: &PhaseDb, sys: &SystemConfig) -> Vec<(ModelKind, QosEvaluation)> {
+    ModelKind::ALL.iter().map(|&k| (k, evaluate_model(db, k, sys))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_phasedb::{build_apps, DbConfig};
+
+    fn db() -> PhaseDb {
+        let names = ["mcf", "libquantum", "gcc", "povray"];
+        let apps: Vec<_> =
+            triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
+        build_apps(&apps, &DbConfig::fast())
+    }
+
+    #[test]
+    fn model3_dominates_on_probability_and_tail() {
+        let db = db();
+        let sys = SystemConfig::table1(4);
+        let evals = evaluate_models(&db, &sys);
+        let p: Vec<f64> = evals.iter().map(|(_, e)| e.probability).collect();
+        // The paper's headline (Fig. 7): Model3 < Model2 < Model1.
+        assert!(p[2] < p[1], "Model3 {} must beat Model2 {}", p[2], p[1]);
+        assert!(p[2] < p[0], "Model3 {} must beat Model1 {}", p[2], p[0]);
+        for (_, e) in &evals {
+            assert!(e.probability >= 0.0 && e.probability <= 1.0);
+            assert!(e.expected_violation >= 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_mass_matches_probability() {
+        let db = db();
+        let sys = SystemConfig::table1(4);
+        let e = evaluate_model(&db, ModelKind::Model2, &sys);
+        let mass: f64 = e.histogram.iter().sum();
+        assert!((mass - e.probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_exist_but_are_minority() {
+        let db = db();
+        let sys = SystemConfig::table1(4);
+        for (k, e) in evaluate_models(&db, &sys) {
+            assert!(e.probability > 0.0, "{k}: some modeling error must exist");
+            assert!(e.probability < 0.5, "{k}: violations must be the minority");
+        }
+    }
+}

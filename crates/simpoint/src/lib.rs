@@ -1,0 +1,332 @@
+//! # triad-simpoint — SimPoint-style phase analysis
+//!
+//! The paper's methodology (§IV-A) uses SimPoint [Sherwood et al., 2002] to
+//! reduce each benchmark to a small set of representative program phases:
+//! every 100M-instruction interval is summarized by a basic-block vector
+//! (BBV), the BBVs are clustered with k-means, each cluster becomes a
+//! *phase* with a representative interval and a weight, and the per-interval
+//! cluster labels form the *phase trace* replayed by the RM simulator.
+//!
+//! This crate implements that pipeline: seeded k-means++ over BBVs with BIC
+//! (Bayesian information criterion)-style selection of `k`, producing a
+//! [`PhaseAnalysis`] with labels, weights and representatives.
+//!
+//! It is deliberately independent of `triad-trace`: any `&[Vec<f64>]` of
+//! interval feature vectors can be analyzed, which is also how the unit
+//! tests validate clustering quality on synthetic mixtures.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of clustering one application's interval BBVs.
+#[derive(Debug, Clone)]
+pub struct PhaseAnalysis {
+    /// Cluster (phase) label of each interval.
+    pub labels: Vec<usize>,
+    /// Index of the representative interval (closest to centroid) per phase.
+    pub representatives: Vec<usize>,
+    /// Fraction of intervals in each phase; sums to 1.
+    pub weights: Vec<f64>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster sum of squared distances.
+    pub wcss: f64,
+}
+
+impl PhaseAnalysis {
+    /// Number of phases found.
+    pub fn n_phases(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// One run of Lloyd's algorithm with k-means++ seeding.
+///
+/// Returns `None` when the inputs cannot support `k` clusters (empty input,
+/// `k = 0`, or fewer distinct points than `k`).
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Option<PhaseAnalysis> {
+    let n = points.len();
+    if n == 0 || k == 0 || k > n {
+        return None;
+    }
+    let dim = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // Fewer distinct points than requested clusters.
+            return None;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut pick = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target <= d {
+                pick = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[pick].clone());
+        for (i, p) in points.iter().enumerate() {
+            let nd = dist2(p, centroids.last().unwrap());
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut labels = vec![0usize; n];
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (mut best, mut bd) = (0usize, f64::INFINITY);
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = dist2(p, cent);
+                if d < bd {
+                    bd = d;
+                    best = c;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[labels[i]] += 1;
+            for (s, &x) in sums[labels[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Drop empty clusters (k can exceed the data's natural structure).
+    let mut used: Vec<usize> = labels.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap: Vec<Option<usize>> = (0..k).map(|c| used.iter().position(|&u| u == c)).collect();
+    let centroids: Vec<Vec<f64>> = used.iter().map(|&c| centroids[c].clone()).collect();
+    let labels: Vec<usize> = labels.iter().map(|&l| remap[l].unwrap()).collect();
+    let k = centroids.len();
+
+    // Representatives, weights, WCSS.
+    let mut weights = vec![0.0; k];
+    let mut reps = vec![0usize; k];
+    let mut rep_d = vec![f64::INFINITY; k];
+    let mut wcss = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let c = labels[i];
+        let d = dist2(p, &centroids[c]);
+        wcss += d;
+        weights[c] += 1.0;
+        if d < rep_d[c] {
+            rep_d[c] = d;
+            reps[c] = i;
+        }
+    }
+    for w in &mut weights {
+        *w /= n as f64;
+    }
+    Some(PhaseAnalysis { labels, representatives: reps, weights, centroids, wcss })
+}
+
+/// SimPoint-style model selection: run [`kmeans`] for `k = 1..=max_k` and
+/// keep the smallest `k` that explains at least `threshold` (SimPoint's BIC
+/// rule uses 0.9) of the single-cluster dispersion, i.e.
+/// `WCSS_k ≤ (1 − threshold) · WCSS_1`.
+///
+/// When no `k ≤ max_k` reaches the threshold the data has no strong phase
+/// structure and a single phase is returned — which is what SimPoint's
+/// score-based rule degenerates to on structureless streams.
+pub fn analyze(points: &[Vec<f64>], max_k: usize, seed: u64) -> PhaseAnalysis {
+    analyze_with_threshold(points, max_k, seed, 0.9)
+}
+
+/// [`analyze`] with an explicit explained-dispersion threshold in `(0, 1]`.
+pub fn analyze_with_threshold(
+    points: &[Vec<f64>],
+    max_k: usize,
+    seed: u64,
+    threshold: f64,
+) -> PhaseAnalysis {
+    assert!(!points.is_empty(), "cannot analyze an empty interval stream");
+    assert!((0.0..=1.0).contains(&threshold));
+    let k1 = kmeans(points, 1, seed.wrapping_add(1)).expect("k = 1 always succeeds");
+    if k1.wcss <= 0.0 {
+        return k1; // All intervals identical: one phase.
+    }
+    let budget = (1.0 - threshold) * k1.wcss;
+    for k in 2..=max_k.min(points.len()) {
+        match kmeans(points, k, seed.wrapping_add(k as u64)) {
+            Some(a) if a.wcss <= budget => return a,
+            Some(_) => continue,
+            None => break, // fewer distinct points than k; larger k won't help
+        }
+    }
+    k1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 4-D.
+    fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![5.0, 5.0, 0.0, 0.0],
+            vec![0.0, 5.0, 5.0, 5.0],
+        ];
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                pts.push(c.iter().map(|&x| x + rng.random::<f64>() * 0.5).collect());
+                truth.push(ci);
+            }
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn kmeans_recovers_blobs() {
+        let (pts, truth) = blobs(40, 1);
+        let a = kmeans(&pts, 3, 42).unwrap();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_eq!(
+                    truth[i] == truth[j],
+                    a.labels[i] == a.labels[j],
+                    "pair ({i},{j}) mislabeled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_match_counts() {
+        let (pts, _) = blobs(30, 2);
+        let a = kmeans(&pts, 3, 7).unwrap();
+        let s: f64 = a.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        for w in &a.weights {
+            assert!((w - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn representatives_carry_their_own_label() {
+        let (pts, _) = blobs(25, 3);
+        let a = kmeans(&pts, 3, 9).unwrap();
+        for (c, &r) in a.representatives.iter().enumerate() {
+            assert_eq!(a.labels[r], c);
+        }
+    }
+
+    #[test]
+    fn analyze_selects_the_natural_k() {
+        let (pts, _) = blobs(40, 4);
+        let a = analyze(&pts, 8, 11);
+        assert_eq!(a.n_phases(), 3, "BIC should select 3 clusters");
+    }
+
+    #[test]
+    fn single_cluster_data_selects_k1() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Vec<f64>> =
+            (0..100).map(|_| (0..4).map(|_| rng.random::<f64>() * 0.01).collect()).collect();
+        let a = analyze(&pts, 6, 3);
+        assert_eq!(a.n_phases(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = blobs(20, 6);
+        let a = kmeans(&pts, 3, 5).unwrap();
+        let b = kmeans(&pts, 3, 5).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.representatives, b.representatives);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_rejected() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(kmeans(&pts, 3, 1).is_none());
+        assert!(kmeans(&pts, 0, 1).is_none());
+        assert!(kmeans(&[], 1, 1).is_none());
+    }
+
+    #[test]
+    fn duplicate_points_collapse_clusters() {
+        let pts: Vec<Vec<f64>> = (0..50).map(|_| vec![1.0, 1.0]).collect();
+        let a = analyze(&pts, 4, 2);
+        assert_eq!(a.n_phases(), 1);
+        assert!(a.wcss < 1e-18);
+    }
+
+    #[test]
+    fn wcss_decreases_with_k() {
+        let (pts, _) = blobs(30, 8);
+        let w1 = kmeans(&pts, 1, 3).unwrap().wcss;
+        let w3 = kmeans(&pts, 3, 3).unwrap().wcss;
+        assert!(w3 < w1 * 0.2, "k=3 should slash WCSS on 3 blobs: {w3} vs {w1}");
+    }
+
+    #[test]
+    fn recovers_bbv_style_phases() {
+        // Mimic the triad-trace BBV emitter: signatures + small noise.
+        let mut rng = StdRng::seed_from_u64(10);
+        let sig_a: Vec<f64> = (0..16).map(|_| rng.random::<f64>()).collect();
+        let sig_b: Vec<f64> = (0..16).map(|_| rng.random::<f64>() + 0.8).collect();
+        let seq = [0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1];
+        let pts: Vec<Vec<f64>> = seq
+            .iter()
+            .map(|&p| {
+                let s = if p == 0 { &sig_a } else { &sig_b };
+                s.iter().map(|&x| x * (1.0 + 0.02 * rng.random::<f64>())).collect()
+            })
+            .collect();
+        let a = analyze(&pts, 6, 3);
+        assert_eq!(a.n_phases(), 2);
+        for (i, &p) in seq.iter().enumerate() {
+            for (j, &q) in seq.iter().enumerate() {
+                assert_eq!(p == q, a.labels[i] == a.labels[j], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let (pts, _) = blobs(15, 12);
+        let a = kmeans(&pts, 3, 4).unwrap();
+        let mut seen: Vec<usize> = a.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..a.n_phases()).collect::<Vec<_>>());
+    }
+}

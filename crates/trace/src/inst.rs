@@ -1,0 +1,131 @@
+//! Instruction records and traces.
+//!
+//! A [`Trace`] is the unit of detailed simulation: a deterministic sequence
+//! of abstract instructions representing one program phase. The timing model
+//! (`triad-uarch`) interprets the dependency and kind fields; the cache model
+//! (`triad-cache`) interprets the address field of memory operations.
+
+/// Functional class of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation.
+    Alu,
+    /// Long-latency arithmetic (FP/mul/div); executes in a few cycles.
+    LongOp,
+    /// Memory load. `addr` is the accessed block address.
+    Load,
+    /// Memory store. `addr` is the accessed block address.
+    Store,
+    /// Conditional branch. `mispredict` marks the (rare) mispredicted ones.
+    Branch,
+}
+
+impl InstKind {
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstKind::Load | InstKind::Store)
+    }
+}
+
+/// One abstract dynamic instruction.
+///
+/// Dependencies are encoded as *backwards distances*: `dep1 = 3` means "this
+/// instruction consumes the result of the instruction three positions
+/// earlier". Distance 0 means "no dependency". This compact encoding keeps a
+/// trace cache-friendly (24 B/instruction) while letting the timing model
+/// resolve producers with a single indexed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Block-aligned byte address for memory operations; 0 otherwise.
+    pub addr: u64,
+    /// Backwards distance to the first producer (0 = none).
+    pub dep1: u32,
+    /// Backwards distance to the second producer (0 = none).
+    pub dep2: u32,
+    /// Functional class.
+    pub kind: InstKind,
+    /// For branches: whether the branch is mispredicted.
+    pub mispredict: bool,
+    /// For loads: whether the address depends on the producer load (pointer
+    /// chase). Chase loads cannot overlap with their producer, which is what
+    /// makes an application parallelism-*insensitive* despite being
+    /// memory-intensive.
+    pub chase: bool,
+}
+
+impl Inst {
+    /// A dependency-free single-cycle ALU op (useful in tests).
+    pub const fn alu() -> Self {
+        Inst { addr: 0, dep1: 0, dep2: 0, kind: InstKind::Alu, mispredict: false, chase: false }
+    }
+}
+
+/// A generated instruction sequence for one program phase.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The dynamic instruction stream.
+    pub insts: Vec<Inst>,
+}
+
+impl Trace {
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the trace holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Count of instructions matching `kind`.
+    pub fn count_kind(&self, kind: InstKind) -> usize {
+        self.insts.iter().filter(|i| i.kind == kind).count()
+    }
+
+    /// Fraction of instructions that are memory operations.
+    pub fn mem_fraction(&self) -> f64 {
+        self.insts.iter().filter(|i| i.kind.is_mem()).count() as f64 / self.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_is_compact() {
+        // The detailed simulator iterates millions of these; keep them small.
+        assert!(std::mem::size_of::<Inst>() <= 24);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(InstKind::Load.is_mem());
+        assert!(InstKind::Store.is_mem());
+        assert!(!InstKind::Alu.is_mem());
+        assert!(!InstKind::Branch.is_mem());
+        assert!(!InstKind::LongOp.is_mem());
+    }
+
+    #[test]
+    fn trace_counting() {
+        let mut t = Trace::default();
+        t.insts.push(Inst::alu());
+        t.insts.push(Inst { kind: InstKind::Load, addr: 64, ..Inst::alu() });
+        t.insts.push(Inst { kind: InstKind::Branch, ..Inst::alu() });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count_kind(InstKind::Load), 1);
+        assert!((t.mem_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mem_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # triad-uarch — mechanistic out-of-order core timing model
+//!
+//! The paper's detailed simulations use Sniper 7.2 with its "ROB"
+//! (instruction-window-centric mechanistic) core model [Carlson et al., ACM
+//! TACO 2014]. This crate implements the same modeling class: a one-pass,
+//! trace-driven out-of-order timing model that resolves, per instruction,
+//!
+//! * **dispatch** — in order, `D(c)` per cycle, stalling on ROB fullness,
+//!   scheduler (RS) fullness, LSQ fullness and branch-redirect refills;
+//! * **issue** — when all producers (from the trace's dependency edges) have
+//!   completed; pointer-chase loads therefore serialize behind the load
+//!   that produces their address;
+//! * **completion** — after the functional/memory latency; DRAM requests go
+//!   through the [`triad_mem::DramQueue`] contention model;
+//! * **retirement** — in order, `D(c)` per cycle.
+//!
+//! Besides total cycles, the model produces exactly the observables the
+//! paper's RM consumes (§III-C/D):
+//!
+//! * the Eq. 1 time decomposition — `T0` (dispatch-width-scalable compute),
+//!   `T1` (branch + cache-hit stalls) and `Tmem` (DRAM stalls) — via
+//!   retire-slot gap attribution;
+//! * the **true** leading-miss count and average MLP (ground truth that the
+//!   ATD heuristic of `triad-cache` approximates);
+//! * the arrival-ordered LLC load stream, which can be fed straight into an
+//!   [`triad_cache::MlpMonitor`] to emulate the proposed hardware.
+
+pub mod model;
+
+pub use model::{simulate, simulate_with_monitor, TimingConfig, TimingResult};

@@ -1,0 +1,629 @@
+//! The one-pass out-of-order timing model.
+
+use triad_arch::{CoreParams, CoreSize};
+use triad_cache::{ClassifiedTrace, MlpMonitor};
+use triad_mem::{DramParams, DramQueue};
+use triad_trace::InstKind;
+
+/// Configuration of one timing run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingConfig {
+    /// Core size under simulation.
+    pub core: CoreSize,
+    /// Core clock frequency in Hz.
+    pub freq_hz: f64,
+    /// LLC way allocation (decides which LLC accesses go to DRAM).
+    pub ways: usize,
+    /// L1D hit latency, cycles.
+    pub lat_l1: u32,
+    /// L2 hit latency, cycles.
+    pub lat_l2: u32,
+    /// LLC hit latency, cycles.
+    pub lat_llc: u32,
+    /// Long-latency arithmetic latency, cycles.
+    pub lat_longop: u32,
+    /// Front-end refill penalty after a mispredicted branch, cycles.
+    pub mispredict_penalty: u32,
+    /// DRAM parameters.
+    pub dram: DramParams,
+}
+
+impl TimingConfig {
+    /// Table I-flavored latencies for a core/frequency/allocation triple.
+    pub fn table1(core: CoreSize, freq_hz: f64, ways: usize) -> Self {
+        TimingConfig {
+            core,
+            freq_hz,
+            ways,
+            lat_l1: 3,
+            lat_l2: 12,
+            lat_llc: 30,
+            lat_longop: 4,
+            mispredict_penalty: 12,
+            dram: DramParams::table1(),
+        }
+    }
+}
+
+/// Observables produced by one timing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingResult {
+    /// Instructions simulated.
+    pub insts: u64,
+    /// Total cycles until the last instruction retires.
+    pub cycles: u64,
+    /// Wall-clock time, seconds (`cycles / freq`).
+    pub time_s: f64,
+    /// Width-scalable compute time (Eq. 1's `T0`), seconds.
+    pub t0_s: f64,
+    /// Branch-misprediction stall time, seconds (part of `T1`).
+    pub t_branch_s: f64,
+    /// L2/LLC-hit stall time, seconds (part of `T1`).
+    pub t_cache_s: f64,
+    /// DRAM stall time (Eq. 1's `Tmem`), seconds.
+    pub tmem_s: f64,
+    /// Loads serviced by DRAM.
+    pub dram_loads: u64,
+    /// Stores whose fill reached DRAM.
+    pub dram_stores: u64,
+    /// Ground-truth leading misses (loads whose DRAM access began with no
+    /// other load miss outstanding).
+    pub true_leading_misses: u64,
+    /// Average MLP: DRAM loads per leading miss (1.0 when no misses).
+    pub mlp: f64,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// Pipeline utilization: `ipc / D(c)` — drives the dynamic-power model.
+    pub util: f64,
+}
+
+impl TimingResult {
+    /// `T1 = T_BP + T_Cache` from Eq. 1.
+    pub fn t1_s(&self) -> f64 {
+        self.t_branch_s + self.t_cache_s
+    }
+
+    /// Total DRAM line transfers (loads + store fills).
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_loads + self.dram_stores
+    }
+}
+
+/// Reason the completion of an instruction was late (for stall attribution).
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    Compute,
+    Branch,
+    CacheHit,
+    Dram,
+}
+
+/// Simulate `trace` (classified as `ct`) under `cfg`.
+///
+/// `trace` must be the *detailed* portion matching `ct` (i.e. generated with
+/// the same warmup split passed to `classify_warm`).
+pub fn simulate(trace: &[triad_trace::Inst], ct: &ClassifiedTrace, cfg: &TimingConfig) -> TimingResult {
+    simulate_inner(trace, ct, cfg, None)
+}
+
+/// [`simulate`], additionally feeding every LLC **load** (in LLC arrival
+/// order, with its program-order instruction index and ATD stack distance)
+/// into the proposed MLP monitor — emulating the Fig. 4 hardware attached
+/// to a core running at this configuration.
+pub fn simulate_with_monitor(
+    trace: &[triad_trace::Inst],
+    ct: &ClassifiedTrace,
+    cfg: &TimingConfig,
+    monitor: &mut MlpMonitor,
+) -> TimingResult {
+    simulate_inner(trace, ct, cfg, Some(monitor))
+}
+
+fn simulate_inner(
+    trace: &[triad_trace::Inst],
+    ct: &ClassifiedTrace,
+    cfg: &TimingConfig,
+    monitor: Option<&mut MlpMonitor>,
+) -> TimingResult {
+    let n = trace.len();
+    assert_eq!(n, ct.len(), "trace and classification must align");
+    if n == 0 {
+        return TimingResult::default();
+    }
+    let CoreParams { issue_width, rob, rs, lsq } = cfg.core.params();
+    let width = issue_width as usize;
+    let rob = rob as usize;
+    let rs = rs as usize;
+    let lsq = lsq as usize;
+
+    let mut dispatch = vec![0u64; n];
+    let mut issue = vec![0u64; n];
+    let mut complete = vec![0u64; n];
+    let mut retire = vec![0u64; n];
+    let mut class = vec![Class::Compute; n];
+    // Memory-op ordinal ring for the LSQ constraint.
+    let mut memops: Vec<usize> = Vec::with_capacity(n / 2);
+    // LLC loads in (issue-cycle, program-index, stack-code) form.
+    let mut llc_loads: Vec<(u64, u32, u8)> = Vec::new();
+
+    let mut dram = DramQueue::new(cfg.dram, cfg.freq_hz);
+    let mut branch_resume = 0u64; // dispatch blocked until here after mispredicts
+    let mut cycle_of_group = 0u64; // current dispatch cycle
+    let mut dispatched_in_group = 0usize;
+
+    let (mut dram_loads, mut dram_stores, mut true_lm) = (0u64, 0u64, 0u64);
+    let mut lm_end = 0u64; // completion of the last counted leading miss
+
+    for i in 0..n {
+        let inst = &trace[i];
+        // ---- dispatch ----
+        let mut cand = cycle_of_group;
+        let mut reason = Class::Compute;
+        if branch_resume > cand {
+            cand = branch_resume;
+            reason = Class::Branch;
+        }
+        if i >= rob {
+            let lim = retire[i - rob];
+            if lim > cand {
+                cand = lim;
+                reason = class[i - rob]; // blocked on the ROB head's class
+            }
+        }
+        if i >= rs {
+            let lim = issue[i - rs];
+            if lim > cand {
+                cand = lim;
+                reason = Class::Compute; // scheduler pressure is core-sized
+            }
+        }
+        if inst.kind.is_mem() {
+            if memops.len() >= lsq {
+                let oldest = memops[memops.len() - lsq];
+                let lim = complete[oldest];
+                if lim > cand {
+                    cand = lim;
+                    reason = class[oldest];
+                }
+            }
+            memops.push(i);
+        }
+        if cand > cycle_of_group {
+            cycle_of_group = cand;
+            dispatched_in_group = 0;
+        } else if dispatched_in_group >= width {
+            cycle_of_group += 1;
+            dispatched_in_group = 0;
+        }
+        dispatch[i] = cycle_of_group;
+        dispatched_in_group += 1;
+        // Record what stalled this instruction's *dispatch* so that pure
+        // front-end (branch) starvation is attributable at retire time.
+        let dispatch_reason = reason;
+
+        // ---- issue (operand readiness) ----
+        // Producers before the detailed window (dep distance > i) completed
+        // during warmup and impose no constraint.
+        let mut start = dispatch[i] + 1;
+        if inst.dep1 > 0 && (inst.dep1 as usize) <= i {
+            start = start.max(complete[i - inst.dep1 as usize]);
+        }
+        if inst.dep2 > 0 && (inst.dep2 as usize) <= i {
+            start = start.max(complete[i - inst.dep2 as usize]);
+        }
+        issue[i] = start;
+
+        // ---- complete ----
+        let (fin, cls) = match inst.kind {
+            InstKind::Alu => (start + 1, Class::Compute),
+            InstKind::LongOp => (start + cfg.lat_longop as u64, Class::Compute),
+            InstKind::Branch => (start + 1, Class::Compute),
+            InstKind::Load | InstKind::Store => match ct.service_level(i, cfg.ways) {
+                1 => (start + cfg.lat_l1 as u64, Class::Compute),
+                2 => (start + cfg.lat_l2 as u64, Class::CacheHit),
+                3 => (start + cfg.lat_llc as u64, Class::CacheHit),
+                _ => {
+                    // DRAM access: LLC lookup first, then the memory channel.
+                    let arrival = start + cfg.lat_llc as u64;
+                    let done = dram.request(arrival);
+                    if inst.kind == InstKind::Load {
+                        dram_loads += 1;
+                        if arrival >= lm_end {
+                            true_lm += 1;
+                            lm_end = done;
+                        }
+                        (done, Class::Dram)
+                    } else {
+                        // Stores retire from the store buffer; the fill only
+                        // consumes DRAM bandwidth.
+                        dram_stores += 1;
+                        (start + 1, Class::Compute)
+                    }
+                }
+            },
+        };
+        // Loads that reach the LLC (hit or miss) probe the ATD.
+        if inst.kind == InstKind::Load && ct.is_llc_access(i) {
+            llc_loads.push((start, i as u32, ct.code(i)));
+        }
+        complete[i] = fin;
+        class[i] = if cls == Class::Compute && dispatch_reason == Class::Branch {
+            Class::Branch
+        } else {
+            cls
+        };
+
+        // ---- branch redirect ----
+        if inst.kind == InstKind::Branch && inst.mispredict {
+            branch_resume = fin + cfg.mispredict_penalty as u64;
+        }
+
+        // ---- retire (in order, `width` per cycle) ----
+        let mut r = complete[i];
+        if i >= 1 {
+            r = r.max(retire[i - 1]);
+        }
+        if i >= width {
+            r = r.max(retire[i - width] + 1);
+        }
+        retire[i] = r;
+    }
+
+    // ---- stall attribution over retire slots ----
+    // Each instruction's retire delay beyond its structural in-order slot is
+    // charged to the class of the instruction that caused the delay.
+    let (mut c_branch, mut c_cache, mut c_dram) = (0u64, 0u64, 0u64);
+    for i in 0..n {
+        let mut base = 0u64;
+        if i >= 1 {
+            base = base.max(retire[i - 1]);
+        }
+        if i >= width {
+            base = base.max(retire[i - width] + 1);
+        }
+        let gap = retire[i].saturating_sub(base);
+        if gap == 0 {
+            continue;
+        }
+        match class[i] {
+            Class::Dram => c_dram += gap,
+            Class::CacheHit => c_cache += gap,
+            Class::Branch => c_branch += gap,
+            Class::Compute => {}
+        }
+    }
+
+    let cycles = retire[n - 1].max(1);
+    let to_s = |c: u64| c as f64 / cfg.freq_hz;
+    let time_s = to_s(cycles);
+    let t_branch_s = to_s(c_branch);
+    let t_cache_s = to_s(c_cache);
+    let tmem_s = to_s(c_dram);
+    let t0_s = (time_s - t_branch_s - t_cache_s - tmem_s).max(0.0);
+    let ipc = n as f64 / cycles as f64;
+
+    // Feed the MLP monitor in LLC arrival order.
+    if let Some(mon) = monitor {
+        llc_loads.sort_by_key(|&(t, idx, _)| (t, idx));
+        for &(_, idx, code) in &llc_loads {
+            // `code` ≤ 15 is a stack distance; 253 (cold) maps to COLD.
+            let dist = if code <= 15 { code } else { triad_cache::atd::COLD };
+            mon.on_llc_load(idx as u64, dist);
+        }
+    }
+
+    TimingResult {
+        insts: n as u64,
+        cycles,
+        time_s,
+        t0_s,
+        t_branch_s,
+        t_cache_s,
+        tmem_s,
+        dram_loads,
+        dram_stores,
+        true_leading_misses: true_lm,
+        mlp: if true_lm > 0 { dram_loads as f64 / true_lm as f64 } else { 1.0 },
+        ipc,
+        util: ipc / width as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_arch::CacheGeometry;
+    use triad_cache::classify;
+    use triad_trace::{AccessPattern, Inst, MemRegion, PhaseSpec, Trace};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::table1_scaled(4, 16)
+    }
+
+    fn run(trace: &Trace, core: CoreSize, freq: f64, ways: usize) -> TimingResult {
+        let ct = classify(trace, &geom());
+        simulate(&trace.insts, &ct, &TimingConfig::table1(core, freq, ways))
+    }
+
+    fn compute_spec(dep_mean: f64) -> PhaseSpec {
+        PhaseSpec {
+            tag: 77,
+            load_frac: 0.0,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean,
+            dep2_prob: 0.0,
+            chase_frac: 0.0,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![],
+        }
+    }
+
+    #[test]
+    fn independent_alu_stream_reaches_full_width() {
+        // dep distances far beyond the window → IPC ≈ D(c).
+        let t = compute_spec(512.0).generate(40_000, 1);
+        for c in CoreSize::ALL {
+            let r = run(&t, c, 2.0e9, 8);
+            let d = c.dispatch_width() as f64;
+            assert!(r.ipc > 0.9 * d, "{c}: ipc {} vs width {d}", r.ipc);
+            assert!(r.ipc <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_width_independent() {
+        // Every instruction depends on the previous one: IPC ≈ 1 (latency 1)
+        // regardless of core size.
+        let mut insts = vec![Inst::alu()];
+        for _ in 1..20_000 {
+            insts.push(Inst { dep1: 1, ..Inst::alu() });
+        }
+        let t = Trace { insts };
+        let s = run(&t, CoreSize::S, 2.0e9, 8);
+        let l = run(&t, CoreSize::L, 2.0e9, 8);
+        assert!((s.ipc - 1.0).abs() < 0.05, "S ipc {}", s.ipc);
+        assert!((l.ipc - 1.0).abs() < 0.05, "L ipc {}", l.ipc);
+    }
+
+    #[test]
+    fn time_scales_inversely_with_frequency_for_compute() {
+        let t = compute_spec(16.0).generate(30_000, 2);
+        let t1 = run(&t, CoreSize::M, 1.0e9, 8);
+        let t2 = run(&t, CoreSize::M, 2.0e9, 8);
+        assert_eq!(t1.cycles, t2.cycles, "compute cycles are f-independent");
+        assert!((t1.time_s / t2.time_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_time_does_not_scale_with_frequency() {
+        // DRAM-bound: doubling f must not halve time.
+        let spec = PhaseSpec {
+            tag: 9,
+            load_frac: 0.35,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean: 8.0,
+            dep2_prob: 0.0,
+            chase_frac: 0.9,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+        };
+        let t = spec.generate(30_000, 3);
+        let lo = run(&t, CoreSize::M, 1.0e9, 2);
+        let hi = run(&t, CoreSize::M, 3.25e9, 2);
+        let speedup = lo.time_s / hi.time_s;
+        assert!(speedup < 1.6, "memory-bound speedup should be far below 3.25x: {speedup}");
+        assert!(hi.tmem_s > 0.5 * hi.time_s, "run must be memory-dominated");
+    }
+
+    #[test]
+    fn chase_loads_serialize_misses() {
+        let mk = |chase: f64, tag: u64| PhaseSpec {
+            tag,
+            load_frac: 0.35,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean: 8.0,
+            dep2_prob: 0.0,
+            chase_frac: chase,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+        };
+        let chasing = mk(0.95, 1).generate(30_000, 4);
+        let indep = mk(0.0, 1).generate(30_000, 4);
+        let rc = run(&chasing, CoreSize::L, 2.0e9, 2);
+        let ri = run(&indep, CoreSize::L, 2.0e9, 2);
+        assert!(rc.mlp < 1.6, "chase MLP should be near 1: {}", rc.mlp);
+        assert!(ri.mlp > 3.0 * rc.mlp, "independent MLP {} vs chase {}", ri.mlp, rc.mlp);
+        assert!(ri.time_s < rc.time_s, "overlap must speed execution up");
+    }
+
+    #[test]
+    fn mlp_grows_with_core_size_for_independent_misses() {
+        let spec = PhaseSpec {
+            tag: 10,
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean: 12.0,
+            dep2_prob: 0.0,
+            chase_frac: 0.0,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![
+                MemRegion { blocks: 128, weight: 0.75, pattern: AccessPattern::Uniform },
+                MemRegion { blocks: 1 << 22, weight: 0.25, pattern: AccessPattern::Uniform },
+            ],
+        };
+        let t = spec.generate(40_000, 5);
+        let s = run(&t, CoreSize::S, 2.0e9, 8);
+        let m = run(&t, CoreSize::M, 2.0e9, 8);
+        let l = run(&t, CoreSize::L, 2.0e9, 8);
+        assert!(s.mlp < m.mlp && m.mlp < l.mlp, "S={} M={} L={}", s.mlp, m.mlp, l.mlp);
+        assert!(l.mlp >= 2.0, "L must reach MLP ≥ 2: {}", l.mlp);
+        assert!(l.time_s < s.time_s, "more MLP must shorten execution");
+    }
+
+    #[test]
+    fn more_ways_never_slow_execution() {
+        let spec = PhaseSpec {
+            tag: 11,
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.1,
+            longop_frac: 0.05,
+            mispredict_rate: 0.02,
+            dep_mean: 7.0,
+            dep2_prob: 0.2,
+            chase_frac: 0.3,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![
+                MemRegion::reuse_kib(8, 0.6),
+                MemRegion::reuse_kib(192, 0.4), // knee inside the range (scaled)
+            ],
+        };
+        let t = spec.generate(40_000, 6);
+        let ct = classify(&t, &geom());
+        let mut prev = f64::INFINITY;
+        for w in [2usize, 4, 8, 12, 16] {
+            let r = simulate(&t.insts, &ct, &TimingConfig::table1(CoreSize::M, 2.0e9, w));
+            assert!(r.time_s <= prev * 1.001, "w={w}: {} vs {}", r.time_s, prev);
+            prev = r.time_s;
+        }
+    }
+
+    #[test]
+    fn mispredicts_cost_time_and_are_attributed_to_branches() {
+        let mk = |mr: f64| PhaseSpec {
+            tag: 12,
+            load_frac: 0.0,
+            store_frac: 0.0,
+            branch_frac: 0.25,
+            longop_frac: 0.0,
+            mispredict_rate: mr,
+            dep_mean: 12.0,
+            dep2_prob: 0.0,
+            chase_frac: 0.0,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![],
+        };
+        let clean = mk(0.0).generate(30_000, 7);
+        let dirty = mk(0.10).generate(30_000, 7);
+        let rc = run(&clean, CoreSize::M, 2.0e9, 8);
+        let rd = run(&dirty, CoreSize::M, 2.0e9, 8);
+        assert!(rd.time_s > rc.time_s * 1.2, "{} vs {}", rd.time_s, rc.time_s);
+        assert!(rd.t_branch_s > 0.0);
+        assert!(rc.t_branch_s <= rc.time_s * 0.01);
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let spec = PhaseSpec {
+            tag: 13,
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.15,
+            longop_frac: 0.1,
+            mispredict_rate: 0.03,
+            dep_mean: 6.0,
+            dep2_prob: 0.3,
+            chase_frac: 0.2,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![MemRegion::reuse_kib(8, 0.5), MemRegion::reuse_kib(256, 0.5)],
+        };
+        let t = spec.generate(30_000, 8);
+        let r = run(&t, CoreSize::M, 2.0e9, 8);
+        let sum = r.t0_s + r.t_branch_s + r.t_cache_s + r.tmem_s;
+        assert!((sum - r.time_s).abs() < 1e-12, "{sum} vs {}", r.time_s);
+        assert!(r.t0_s > 0.0);
+    }
+
+    #[test]
+    fn lsq_bounds_inflight_memory_ops() {
+        // All loads, all independent DRAM misses: the S core's 10-entry LSQ
+        // caps MLP near 10 even though its 64-entry ROB could hold more.
+        let spec = PhaseSpec {
+            tag: 14,
+            load_frac: 1.0,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean: 512.0,
+            dep2_prob: 0.0,
+            chase_frac: 0.0,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+        };
+        let t = spec.generate(20_000, 9);
+        let r = run(&t, CoreSize::S, 2.0e9, 8);
+        assert!(r.mlp <= 10.5, "S LSQ is 10 entries: MLP {}", r.mlp);
+    }
+
+    #[test]
+    fn monitor_receives_llc_loads() {
+        let spec = PhaseSpec {
+            tag: 15,
+            load_frac: 0.4,
+            store_frac: 0.0,
+            branch_frac: 0.0,
+            longop_frac: 0.0,
+            mispredict_rate: 0.0,
+            dep_mean: 10.0,
+            dep2_prob: 0.0,
+            chase_frac: 0.0,
+            burst: 1.0,
+            addr_dep: 0.5,
+            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+        };
+        let t = spec.generate(10_000, 10);
+        let ct = classify(&t, &geom());
+        let mut mon = MlpMonitor::table1();
+        let r = simulate_with_monitor(
+            &t.insts,
+            &ct,
+            &TimingConfig::table1(CoreSize::M, 2.0e9, 8),
+            &mut mon,
+        );
+        // Every DRAM load is also an ATD-predicted miss at w=8 here (the
+        // region never hits), so the monitor's miss count matches.
+        assert_eq!(mon.miss_count(CoreSize::M, 8), r.dram_loads);
+        assert!(mon.lm_count(CoreSize::M, 8) > 0);
+        // The heuristic should land in the right ballpark of true MLP.
+        let est = mon.mlp(CoreSize::M, 8);
+        assert!(est / r.mlp < 3.0 && r.mlp / est < 3.0, "est {est} vs true {}", r.mlp);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let t = Trace::default();
+        let ct = classify(&t, &geom());
+        let r = simulate(&t.insts, &ct, &TimingConfig::table1(CoreSize::M, 2.0e9, 8));
+        assert_eq!(r.insts, 0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = compute_spec(8.0).generate(5000, 11);
+        let a = run(&t, CoreSize::M, 2.0e9, 8);
+        let b = run(&t, CoreSize::M, 2.0e9, 8);
+        assert_eq!(a, b);
+    }
+}

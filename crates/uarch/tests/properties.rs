@@ -1,0 +1,85 @@
+//! Property-based tests for the out-of-order timing model.
+
+use proptest::prelude::*;
+use triad_arch::{CacheGeometry, CoreSize};
+use triad_cache::classify;
+use triad_trace::{MemRegion, PhaseSpec};
+use triad_uarch::{simulate, TimingConfig};
+
+fn spec_strategy() -> impl Strategy<Value = (PhaseSpec, u64)> {
+    (
+        0.05f64..0.35,  // load
+        0.0f64..0.12,   // store
+        0.0f64..0.2,    // branch
+        0.0f64..0.25,   // longop
+        0.0f64..0.08,   // mispredict
+        2.0f64..14.0,   // dep mean
+        0.0f64..0.9,    // chase
+        1.0f64..24.0,   // burst
+        0.0f64..1.0,    // addr_dep
+        16u64..4096,    // region blocks
+        any::<u64>(),   // seed
+    )
+        .prop_map(|(l, st, b, lo, mp, dep, ch, burst, ad, blocks, seed)| {
+            (
+                PhaseSpec {
+                    tag: 3,
+                    load_frac: l,
+                    store_frac: st,
+                    branch_frac: b,
+                    longop_frac: lo,
+                    mispredict_rate: mp,
+                    dep_mean: dep,
+                    dep2_prob: 0.3,
+                    chase_frac: ch,
+                    burst,
+                    addr_dep: ad,
+                    regions: vec![
+                        MemRegion::reuse_kib(8, 0.6),
+                        MemRegion { blocks, weight: 0.4, pattern: triad_trace::AccessPattern::Uniform },
+                    ],
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants that must hold for any workload: IPC within
+    /// the dispatch width, decomposition sums to total, more ways never
+    /// slower, larger cores never slower, lower frequency never faster.
+    #[test]
+    fn timing_model_invariants((spec, seed) in spec_strategy()) {
+        let geom = CacheGeometry::table1_scaled(4, 16);
+        let t = spec.generate(8_000, seed);
+        let ct = classify(&t, &geom);
+
+        let mut prev_core_time = f64::INFINITY;
+        for c in CoreSize::ALL {
+            let r = simulate(&t.insts, &ct, &TimingConfig::table1(c, 2.0e9, 8));
+            prop_assert!(r.ipc <= c.dispatch_width() as f64 + 1e-9);
+            let sum = r.t0_s + r.t_branch_s + r.t_cache_s + r.tmem_s;
+            prop_assert!((sum - r.time_s).abs() < 1e-12);
+            prop_assert!(r.true_leading_misses <= r.dram_loads);
+            prop_assert!(r.mlp >= 1.0 - 1e-12);
+            // Bigger cores never slower (small tolerance for queueing noise).
+            prop_assert!(r.time_s <= prev_core_time * 1.02, "{c}");
+            prev_core_time = r.time_s;
+        }
+
+        let mut prev_way_time = f64::INFINITY;
+        for w in [2usize, 6, 10, 16] {
+            let r = simulate(&t.insts, &ct, &TimingConfig::table1(CoreSize::M, 2.0e9, w));
+            prop_assert!(r.time_s <= prev_way_time * 1.001, "w={w}");
+            prev_way_time = r.time_s;
+        }
+
+        let lo = simulate(&t.insts, &ct, &TimingConfig::table1(CoreSize::M, 1.0e9, 8));
+        let hi = simulate(&t.insts, &ct, &TimingConfig::table1(CoreSize::M, 3.25e9, 8));
+        prop_assert!(hi.time_s <= lo.time_s);
+        // And frequency cannot speed memory up more than 3.25x overall.
+        prop_assert!(lo.time_s / hi.time_s <= 3.25 + 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small phase database, run the proposed RM3 against
+//! the idle baseline on a 2-core system, and report energy savings.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use triad::phasedb::{build_apps, DbConfig};
+use triad::rm::RmKind;
+use triad::sim::engine::{SimConfig, SimModel, Simulator};
+use triad::rm::ModelKind;
+
+fn main() {
+    // A cache-hungry application (mcf) next to a compute-bound one
+    // (povray): the canonical Scenario-1 trade.
+    let names = ["mcf", "povray"];
+    let apps: Vec<_> = triad::trace::suite()
+        .into_iter()
+        .filter(|a| names.contains(&a.name))
+        .collect();
+    println!("running detailed simulations for {:?}...", names);
+    let db = build_apps(&apps, &DbConfig::default());
+
+    let idle = Simulator::new(&db, 2, SimConfig::idle()).run(&names);
+    println!(
+        "idle RM (baseline pinned): {:.2} J over {:.2} s",
+        idle.total_energy_j, idle.sim_time_s
+    );
+
+    for rm in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
+        let cfg = SimConfig::evaluation(rm, SimModel::Online(ModelKind::Model3));
+        let r = Simulator::new(&db, 2, cfg).run(&names);
+        println!(
+            "{}: {:.2} J -> {:.1}% savings ({} RM invocations, QoS violations {}/{})",
+            rm.label(),
+            r.total_energy_j,
+            100.0 * r.savings_vs(&idle),
+            r.rm_invocations,
+            r.qos_violations,
+            r.intervals_checked
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # triad — coordinated core-configuration + DVFS + cache-partitioning RM
+//!
+//! A from-scratch Rust reproduction of **Nejat, Manivannan, Pericàs,
+//! Stenström, "Coordinated Management of Processor Configuration and Cache
+//! Partitioning to Optimize Energy under QoS Constraints" (IPDPS 2020)**:
+//! an online resource manager that jointly tunes, per core, the
+//! micro-architecture size (S/M/L), the voltage/frequency point and the
+//! share of a way-partitioned shared LLC, minimizing system energy while
+//! keeping every application at least as fast as a fixed baseline.
+//!
+//! This crate re-exports the subsystem crates:
+//!
+//! * [`arch`] — Table I architecture description;
+//! * [`trace`] — the 27 synthetic SPEC CPU2006 stand-ins;
+//! * [`simpoint`] — BBV k-means phase analysis;
+//! * [`cache`] — LRU caches, the ATD, and the leading-miss MLP monitor
+//!   (the paper's hardware contribution, Fig. 4);
+//! * [`mem`] — the DRAM latency/bandwidth/contention model;
+//! * [`uarch`] — the mechanistic out-of-order timing model;
+//! * [`energy`] — McPAT-style power models;
+//! * [`phasedb`] — the detailed-simulation database over all
+//!   configurations;
+//! * [`rm`] — the RM itself: Models 1/2/3, QoS, local + global optimizers,
+//!   controllers RM1/RM2/RM3;
+//! * [`sim`] — the interval-event RM simulator and every experiment of §V.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use triad::phasedb::{build_apps, DbConfig};
+//! use triad::rm::RmKind;
+//! use triad::sim::engine::{SimConfig, Simulator};
+//!
+//! // Detailed simulation of two applications over every configuration.
+//! let apps: Vec<_> = triad::trace::suite()
+//!     .into_iter()
+//!     .filter(|a| ["mcf", "povray"].contains(&a.name))
+//!     .collect();
+//! let db = build_apps(&apps, &DbConfig::default());
+//!
+//! // Replay them on a 2-core system under the proposed controller (RM3).
+//! let idle = Simulator::new(&db, 2, SimConfig::idle()).run(&["mcf", "povray"]);
+//! let rm3 = Simulator::new(&db, 2, SimConfig::perfect(RmKind::Rm3)).run(&["mcf", "povray"]);
+//! println!("energy savings: {:.1}%", 100.0 * rm3.savings_vs(&idle));
+//! ```
+
+pub use triad_arch as arch;
+pub use triad_cache as cache;
+pub use triad_energy as energy;
+pub use triad_mem as mem;
+pub use triad_phasedb as phasedb;
+pub use triad_rm as rm;
+pub use triad_sim as sim;
+pub use triad_simpoint as simpoint;
+pub use triad_trace as trace;
+pub use triad_uarch as uarch;

@@ -1,0 +1,34 @@
+//! SimPoint-pipeline integration: the k-means clusterer must recover each
+//! application's designed phase structure from its noisy interval BBVs.
+
+use triad::simpoint::analyze;
+use triad::trace::{bbv::interval_bbvs, suite};
+
+#[test]
+fn simpoint_recovers_designed_phases_for_every_app() {
+    for app in suite() {
+        let bbvs = interval_bbvs(&app, 0.02, 11);
+        let analysis = analyze(&bbvs, 6, 3);
+        assert_eq!(
+            analysis.n_phases(),
+            app.phases.len(),
+            "{}: expected {} phases",
+            app.name,
+            app.phases.len()
+        );
+        // Labels must be consistent with the designed sequence (same
+        // partition, up to renaming).
+        for i in 0..app.sequence.len() {
+            for j in (i + 1)..app.sequence.len() {
+                assert_eq!(
+                    app.sequence[i] == app.sequence[j],
+                    analysis.labels[i] == analysis.labels[j],
+                    "{}: intervals {i},{j} partition mismatch",
+                    app.name
+                );
+            }
+        }
+        let wsum: f64 = analysis.weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+}

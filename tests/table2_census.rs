@@ -1,0 +1,23 @@
+//! The calibration contract: running the paper's §IV-C classification
+//! criteria over the full default-quality database must reproduce
+//! Table II exactly (5 CS-PS, 7 CS-PI, 7 CI-PS, 8 CI-PI, same members).
+//!
+//! This is the most expensive integration test (full 27-app database).
+
+use triad::phasedb::{build_suite, characterize_app, DbConfig};
+
+#[test]
+fn full_suite_reproduces_table2() {
+    let db = build_suite(&DbConfig::default());
+    let mut mismatches = Vec::new();
+    for e in &db.apps {
+        let c = characterize_app(e);
+        if c.derived != c.expected {
+            mismatches.push(format!(
+                "{}: expected {}, derived {} (mpki {:?}, mlp {:?})",
+                c.name, c.expected, c.derived, c.mpki, c.mlp
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "Table II mismatches:\n{}", mismatches.join("\n"));
+}
