@@ -1,9 +1,13 @@
 //! §III-E measurement: cost of one full RM invocation (local optimization +
 //! global curve reduction) versus core count and controller.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Run with `cargo bench -p triad-bench --bench rm_overhead`.
+
 use std::hint::black_box;
+use std::time::Duration;
 use triad_arch::{DvfsGrid, Setting, SystemConfig};
 use triad_rm::{local_optimize, plan_system, IntervalModel, RmKind};
+use triad_util::bench::bench;
 
 /// A cheap synthetic model so the bench measures the optimizer itself.
 struct Synth {
@@ -14,44 +18,31 @@ impl IntervalModel for Synth {
     fn predict(&self, s: Setting) -> (f64, f64) {
         let f = self.grid.point(s.vf).freq_hz;
         let v = self.grid.point(s.vf).volt;
-        let t = 1.2e-9 * 2.0e9 / f + (17.0 - s.ways as f64) * 2.0e-11
+        let t = 1.2e-9 * 2.0e9 / f
+            + (17.0 - s.ways as f64) * 2.0e-11
             + 4.0e-10 / s.core.dispatch_width() as f64;
         (t, (2.8 * v * v * (f / 2.0e9) + 0.6) * t)
     }
 }
 
-fn bench_invocation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rm_invocation");
+fn main() {
+    println!("rm_invocation: one full local+global RM pass");
     for n_cores in [2usize, 4, 8] {
         let sys = SystemConfig::table1(n_cores);
         let model = Synth { grid: sys.dvfs.clone() };
         let b = sys.baseline_setting();
         for rm in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
-            g.bench_with_input(
-                BenchmarkId::new(rm.label(), n_cores),
-                &n_cores,
-                |bench, _| {
-                    bench.iter(|| {
-                        let plans: Vec<_> = (0..n_cores)
-                            .map(|_| {
-                                local_optimize(
-                                    &model,
-                                    rm,
-                                    b,
-                                    &sys.dvfs,
-                                    sys.way_range(),
-                                    1.0,
-                                )
-                            })
-                            .collect();
-                        black_box(plan_system(&plans, sys.total_ways(), b))
-                    })
+            bench(
+                &format!("rm_invocation/{}/{n_cores}cores", rm.label()),
+                None,
+                Duration::from_millis(300),
+                || {
+                    let plans: Vec<_> = (0..n_cores)
+                        .map(|_| local_optimize(&model, rm, b, &sys.dvfs, sys.way_range(), 1.0))
+                        .collect();
+                    black_box(plan_system(&plans, sys.total_ways(), b));
                 },
             );
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_invocation);
-criterion_main!(benches);

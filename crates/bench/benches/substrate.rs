@@ -1,12 +1,18 @@
 //! Substrate throughput benches: cache classification, the out-of-order
 //! timing model, the ATD+MLP monitor and the global curve reduction.
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//!
+//! Run with `cargo bench -p triad-bench --bench substrate`.
+
 use std::hint::black_box;
+use std::time::Duration;
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{classify, Atd, MlpMonitor};
 use triad_rm::{optimize_partition, EnergyCurve};
 use triad_trace::{MemRegion, PhaseSpec};
 use triad_uarch::{simulate, TimingConfig};
+use triad_util::bench::bench;
+
+const BUDGET: Duration = Duration::from_millis(400);
 
 fn spec() -> PhaseSpec {
     PhaseSpec {
@@ -25,59 +31,49 @@ fn spec() -> PhaseSpec {
     }
 }
 
-fn bench_classify(c: &mut Criterion) {
+fn bench_classify() {
     let t = spec().generate(64_000, 1);
     let geom = CacheGeometry::table1_scaled(4, 16);
-    let mut g = c.benchmark_group("classify");
-    g.throughput(Throughput::Elements(t.len() as u64));
-    g.bench_function("l1_l2_atd_pass", |b| b.iter(|| black_box(classify(&t, &geom))));
-    g.finish();
+    bench("classify/l1_l2_atd_pass", Some(t.len() as u64), BUDGET, || {
+        black_box(classify(&t, &geom));
+    });
 }
 
-fn bench_timing(c: &mut Criterion) {
+fn bench_timing() {
     let t = spec().generate(64_000, 1);
     let geom = CacheGeometry::table1_scaled(4, 16);
     let ct = classify(&t, &geom);
-    let mut g = c.benchmark_group("timing");
-    g.throughput(Throughput::Elements(t.len() as u64));
     for core in CoreSize::ALL {
-        g.bench_function(format!("ooo_model_{core}"), |b| {
-            b.iter(|| {
-                black_box(simulate(&t.insts, &ct, &TimingConfig::table1(core, 2.0e9, 8)))
-            })
+        bench(&format!("timing/ooo_model_{core}"), Some(t.len() as u64), BUDGET, || {
+            black_box(simulate(&t.insts, &ct, &TimingConfig::table1(core, 2.0e9, 8)));
         });
     }
-    g.finish();
 }
 
-fn bench_monitors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("monitors");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("atd_access", |b| {
-        let mut atd = Atd::table1();
-        let mut x = 0u64;
-        b.iter(|| {
-            for _ in 0..10_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                black_box(atd.access((x >> 16) & 0xFFFF_FFC0));
-            }
-        })
+fn bench_monitors() {
+    // Monitors constructed outside the timed closure: the measurement is
+    // steady-state access throughput, not allocation/cold-start cost.
+    let mut atd = Atd::table1();
+    let mut x = 0u64;
+    bench("monitors/atd_access", Some(10_000), BUDGET, || {
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(atd.access((x >> 16) & 0xFFFF_FFC0));
+        }
     });
-    g.bench_function("mlp_monitor_load", |b| {
-        let mut mon = MlpMonitor::table1();
-        let mut x = 0u64;
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                mon.on_llc_load(i * 7, (x % 20) as u8);
-            }
-        })
+    let mut mon = MlpMonitor::table1();
+    let mut x = 0u64;
+    let mut i = 0u64;
+    bench("monitors/mlp_monitor_load", Some(10_000), BUDGET, || {
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            mon.on_llc_load(i * 7, (x % 20) as u8);
+            i += 1;
+        }
     });
-    g.finish();
 }
 
-fn bench_global(c: &mut Criterion) {
-    let mut g = c.benchmark_group("global_optimizer");
+fn bench_global() {
     for n in [2usize, 4, 8, 16] {
         let curves: Vec<EnergyCurve> = (0..n)
             .map(|i| EnergyCurve {
@@ -85,12 +81,15 @@ fn bench_global(c: &mut Criterion) {
                 energy: (0..15).map(|w| ((w + i) % 7) as f64 + 0.1).collect(),
             })
             .collect();
-        g.bench_function(format!("reduce_{n}_cores"), |b| {
-            b.iter(|| black_box(optimize_partition(&curves, 8 * n)))
+        bench(&format!("global_optimizer/reduce_{n}_cores"), None, BUDGET, || {
+            black_box(optimize_partition(&curves, 8 * n));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_classify, bench_timing, bench_monitors, bench_global);
-criterion_main!(benches);
+fn main() {
+    bench_classify();
+    bench_timing();
+    bench_monitors();
+    bench_global();
+}

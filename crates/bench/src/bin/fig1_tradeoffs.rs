@@ -1,35 +1,4 @@
-//! Fig. 1: category-mix probabilities and the four workload scenarios.
-use triad_sim::workload::{cell_probability, scenario_of_pair, scenario_probability, Scenario};
-use triad_trace::Category;
-
-fn main() {
-    println!("FIG. 1: category-mix cells (probability %, scenario)");
-    println!("====================================================");
-    print!("{:<8}", "");
-    for b in Category::ALL {
-        print!("{:>16}", b.label());
-    }
-    println!();
-    for (i, a) in Category::ALL.iter().enumerate() {
-        print!("{:<8}", a.label());
-        for (j, b) in Category::ALL.iter().enumerate() {
-            if j < i {
-                print!("{:>16}", "-"); // symmetric lower triangle omitted
-            } else {
-                let p = cell_probability(*a, *b) * 100.0;
-                let s = scenario_of_pair(*a, *b);
-                print!("{:>11.1}% S{:<3}", p, match s {
-                    Scenario::S1 => 1,
-                    Scenario::S2 => 2,
-                    Scenario::S3 => 3,
-                    Scenario::S4 => 4,
-                });
-            }
-        }
-        println!();
-    }
-    println!("\nScenario weights (paper: 47 / 22.1 / 22.1 / 8.8 %):");
-    for s in Scenario::ALL {
-        println!("  {}: {:.1}%", s.label(), scenario_probability(s) * 100.0);
-    }
+//! Thin wrapper: `triad-bench --experiment fig1` (Fig. 1 — category-mix probabilities and scenarios).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig1"))
 }

@@ -1,23 +1,4 @@
-//! Fig. 2: two-core workloads, one per scenario, perfect models, no
-//! overheads.
-use triad_bench::{db, pct};
-use triad_sim::experiments::fig2;
-
-fn main() {
-    let rows = fig2(db());
-    println!("FIG. 2: two-core scenario savings (perfect models, no overheads)");
-    println!("================================================================");
-    println!("{:<12} {:<28} {:>7} {:>7} {:>7}", "scenario", "workload", "RM1", "RM2", "RM3");
-    for r in &rows {
-        println!(
-            "{:<12} {:<28} {:>7} {:>7} {:>7}",
-            r.workload.scenario.label(),
-            r.workload.apps.join("+"),
-            pct(r.savings[0]),
-            pct(r.savings[1]),
-            pct(r.savings[2])
-        );
-    }
-    println!("\npaper shape: S1 both effective with RM3 well ahead (~70% higher);");
-    println!("S2 comparable; S3 only RM3; S4 all ineffective");
+//! Thin wrapper: `triad-bench --experiment fig2` (Fig. 2 — two-core scenario savings, perfect models).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig2"))
 }

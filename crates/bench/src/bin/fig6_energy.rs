@@ -1,34 +1,4 @@
-//! Fig. 6: energy savings of RM1/RM2/RM3 on six 4-core and six 8-core
-//! workloads per scenario, with online models and overheads.
-use triad_bench::{db, pct};
-use triad_sim::experiments::{averages, fig6, scenario_means};
-
-fn main() {
-    let db = db();
-    for n_cores in [4usize, 8] {
-        println!("FIG. 6 ({n_cores}-core): energy savings per workload");
-        println!("====================================================");
-        println!("{:<11} {:<11} {:>7} {:>7} {:>7}  apps", "workload", "scenario", "RM1", "RM2", "RM3");
-        let rows = fig6(db, n_cores, 2020);
-        for r in &rows {
-            println!(
-                "{:<11} {:<11} {:>7} {:>7} {:>7}  {}",
-                r.workload.name,
-                r.workload.scenario.label(),
-                pct(r.savings[0]),
-                pct(r.savings[1]),
-                pct(r.savings[2]),
-                r.workload.apps.join(",")
-            );
-        }
-        println!("\nper-scenario means:");
-        for (s, m) in scenario_means(&rows) {
-            println!("  {:<11} RM1={} RM2={} RM3={}", s.label(), pct(m[0]), pct(m[1]), pct(m[2]));
-        }
-        let (w, p) = averages(&rows);
-        println!("weighted avg (47/22.1/22.1/8.8): RM1={} RM2={} RM3={}", pct(w[0]), pct(w[1]), pct(w[2]));
-        println!("plain avg:                       RM1={} RM2={} RM3={}", pct(p[0]), pct(p[1]), pct(p[2]));
-        let best = rows.iter().map(|r| r.savings[2]).fold(f64::NEG_INFINITY, f64::max);
-        println!("max RM3 savings: {} (paper: up to 17.6% on 4-core)\n", pct(best));
-    }
+//! Thin wrapper: `triad-bench --experiment fig6` (Fig. 6 — RM1/RM2/RM3 savings on 4-/8-core workloads).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig6"))
 }

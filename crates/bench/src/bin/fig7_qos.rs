@@ -1,29 +1,4 @@
-//! Fig. 7: QoS-violation probability, expected violation and standard
-//! deviation for Model1 / Model2 / Model3.
-use triad_arch::SystemConfig;
-use triad_bench::db;
-use triad_sim::evaluate_models;
-
-fn main() {
-    let sys = SystemConfig::table1(4);
-    let evals = evaluate_models(db(), &sys);
-    println!("FIG. 7: QoS violations over all phases x current x target settings");
-    println!("==================================================================");
-    println!("{:<8} {:>12} {:>12} {:>12}", "model", "P(violation)", "E[violation]", "std");
-    for (k, e) in &evals {
-        println!(
-            "{:<8} {:>11.2}% {:>11.2}% {:>11.2}%",
-            k.label(),
-            e.probability * 100.0,
-            e.expected_violation * 100.0,
-            e.std_violation * 100.0
-        );
-    }
-    let p: Vec<f64> = evals.iter().map(|(_, e)| e.probability).collect();
-    let ev: Vec<f64> = evals.iter().map(|(_, e)| e.expected_violation).collect();
-    let sd: Vec<f64> = evals.iter().map(|(_, e)| e.std_violation).collect();
-    println!("\nModel3 vs Model1: probability {:+.0}% (paper: -46%)", (p[2] / p[0] - 1.0) * 100.0);
-    println!("Model3 vs Model2: probability {:+.0}% (paper: -32%)", (p[2] / p[1] - 1.0) * 100.0);
-    println!("Model3 vs Model2: expected    {:+.0}% (paper: -49%)", (ev[2] / ev[1] - 1.0) * 100.0);
-    println!("Model3 vs Model2: std         {:+.0}% (paper: -26%)", (sd[2] / sd[1] - 1.0) * 100.0);
+//! Thin wrapper: `triad-bench --experiment fig7` (Fig. 7 — QoS-violation probability / expectation / std).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig7"))
 }

@@ -1,37 +1,4 @@
-//! Fig. 8: distribution of QoS-violation magnitudes per model, normalized
-//! to the maximum bin across models.
-use triad_arch::SystemConfig;
-use triad_bench::db;
-use triad_sim::evaluate_models;
-
-fn main() {
-    let sys = SystemConfig::table1(4);
-    let evals = evaluate_models(db(), &sys);
-    let max = evals
-        .iter()
-        .map(|(_, e)| e.histogram_max())
-        .fold(0.0f64, f64::max);
-    println!("FIG. 8: violation-magnitude distribution (normalized to max bin)");
-    println!("=================================================================");
-    print!("{:<12}", "violation");
-    for (k, _) in &evals {
-        print!("{:>10}", k.label());
-    }
-    println!();
-    let bins = evals[0].1.histogram.len();
-    for b in 0..bins {
-        let lo = b as f64 * evals[0].1.bin_width * 100.0;
-        let hi = lo + evals[0].1.bin_width * 100.0;
-        let row: Vec<f64> = evals.iter().map(|(_, e)| e.histogram[b] / max).collect();
-        if row.iter().all(|&x| x < 1e-6) {
-            continue;
-        }
-        print!("{:>4.1}-{:<5.1}% ", lo, hi);
-        for x in row {
-            print!("{:>10.3}", x);
-        }
-        println!();
-    }
-    println!("\npaper shape: Model3 may show slightly more small (~5%) violations but");
-    println!("substantially fewer in total, with the large-violation tail cut hardest");
+//! Thin wrapper: `triad-bench --experiment fig8` (Fig. 8 — violation-magnitude distribution).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig8"))
 }

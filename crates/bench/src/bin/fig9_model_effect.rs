@@ -1,34 +1,4 @@
-//! Fig. 9: RM3 energy savings under Model1/Model2/Model3 versus the
-//! perfect-model bound.
-use triad_bench::{db, pct};
-use triad_sim::experiments::fig9;
-
-fn main() {
-    let db = db();
-    for n_cores in [4usize, 8] {
-        println!("FIG. 9 ({n_cores}-core): RM3 savings by performance model");
-        println!("==========================================================");
-        println!("{:<11} {:<11} {:>8} {:>8} {:>8} {:>8}", "workload", "scenario", "Model1", "Model2", "Model3", "perfect");
-        let rows = fig9(db, n_cores, 2020);
-        let mut avg = [0.0f64; 4];
-        for r in &rows {
-            println!(
-                "{:<11} {:<11} {:>8} {:>8} {:>8} {:>8}",
-                r.workload.name,
-                r.workload.scenario.label(),
-                pct(r.savings[0]),
-                pct(r.savings[1]),
-                pct(r.savings[2]),
-                pct(r.savings[3])
-            );
-            for i in 0..4 {
-                avg[i] += r.savings[i] / rows.len() as f64;
-            }
-        }
-        println!(
-            "{:<23} {:>8} {:>8} {:>8} {:>8}",
-            "average", pct(avg[0]), pct(avg[1]), pct(avg[2]), pct(avg[3])
-        );
-        println!("paper shape: Model3 lands closest to the perfect bound\n");
-    }
+//! Thin wrapper: `triad-bench --experiment fig9` (Fig. 9 — RM3 savings by performance model).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("fig9"))
 }

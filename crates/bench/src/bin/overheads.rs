@@ -1,39 +1,4 @@
-//! §III-E: RM algorithm overheads — operation counts per invocation versus
-//! core count, plus the fixed hardware-transition costs.
-use triad_bench::db;
-use triad_cache::MlpMonitor;
-use triad_rm::RmKind;
-use triad_sim::engine::{SimConfig, SimModel, Simulator};
-use triad_sim::workload::generate_workloads;
-use triad_arch::{DVFS_TRANSITION_ENERGY_J, DVFS_TRANSITION_TIME_S};
-
-fn main() {
-    let db = db();
-    println!("SEC. III-E: RM algorithm overheads");
-    println!("==================================");
-    println!("{:<8} {:>10} {:>10} {:>14}", "cores", "RM", "ops/invoc", "~instructions");
-    for n in [2usize, 4, 8] {
-        let wl = &generate_workloads(n, 1, 7)[0];
-        for rm in [RmKind::Rm2, RmKind::Rm3] {
-            let cfg = SimConfig::evaluation(rm, SimModel::Perfect);
-            let instr_per_op = cfg.rm_instr_per_op;
-            let sim = Simulator::new(db, n, cfg);
-            let names: Vec<&str> = wl.apps.to_vec();
-            let r = sim.run(&names);
-            let ops = r.rm_ops as f64 / r.rm_invocations.max(1) as f64;
-            println!(
-                "{:<8} {:>10} {:>10.0} {:>13.0}K",
-                n,
-                rm.label(),
-                ops,
-                ops * instr_per_op / 1000.0
-            );
-        }
-    }
-    println!("\npaper: RM3 = 51K/73K/100K and RM2 = 18K/40K/67K instructions for 2/4/8 cores");
-    println!("DVFS transition: {} us, {} uJ (Samsung Exynos 4210 measurements)",
-        DVFS_TRANSITION_TIME_S * 1e6, DVFS_TRANSITION_ENERGY_J * 1e6);
-    let mon = MlpMonitor::table1();
-    println!("ATD extension storage: {} bits (~{} bytes/core; paper: <300 bytes)",
-        mon.storage_bits(), mon.storage_bits() / 8);
+//! Thin wrapper: `triad-bench --experiment overheads` (§III-E — RM algorithm overheads).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("overheads"))
 }

@@ -1,45 +1,4 @@
-//! Table I: the baseline system configuration.
-use triad_arch::{CacheGeometry, CoreSize, DvfsGrid, SystemConfig};
-use triad_mem::DramParams;
-
-fn main() {
-    println!("TABLE I: Baseline configuration");
-    println!("================================");
-    println!("Core: out-of-order");
-    println!("{:<14} {:>6} {:>6} {:>6}", "", "L", "M", "S");
-    let p = |f: fn(CoreSize) -> u32| {
-        (f(CoreSize::L), f(CoreSize::M), f(CoreSize::S))
-    };
-    let (l, m, s) = p(|c| c.params().issue_width);
-    println!("{:<14} {l:>6} {m:>6} {s:>6}", "issue width");
-    let (l, m, s) = p(|c| c.params().rob);
-    println!("{:<14} {l:>6} {m:>6} {s:>6}", "ROB");
-    let (l, m, s) = p(|c| c.params().rs);
-    println!("{:<14} {l:>6} {m:>6} {s:>6}", "RS");
-    let (l, m, s) = p(|c| c.params().lsq);
-    println!("{:<14} {l:>6} {m:>6} {s:>6}", "LSQ");
-    println!();
-    for n in [2usize, 4, 8] {
-        let g = CacheGeometry::table1(n);
-        println!(
-            "{n}-core LLC: {} MB, {}-way, per-core allocation {:?} ways",
-            g.llc.capacity_bytes / (1024 * 1024),
-            g.llc.ways,
-            g.per_core_way_range(n)
-        );
-    }
-    let g = CacheGeometry::table1(4);
-    println!("L1-I/L1-D: {} KB {}-way | L2: {} KB {}-way | 64 B blocks, LRU",
-        g.l1i.capacity_bytes / 1024, g.l1i.ways, g.l2.capacity_bytes / 1024, g.l2.ways);
-    let d = DramParams::table1();
-    println!("DRAM: {} ns base latency, contention queue, {} GB/s per core",
-        d.base_latency_s * 1e9, d.bandwidth_bps / 1e9);
-    let grid = DvfsGrid::table1();
-    println!("DVFS: per-core {:.2}-{:.2} GHz / {:.2}-{:.2} V ({} points), baseline {:.1} GHz / {:.1} V",
-        grid.point(0).freq_ghz(), grid.point(grid.len() - 1).freq_ghz(),
-        grid.point(0).volt, grid.point(grid.len() - 1).volt, grid.len(),
-        grid.baseline_point().freq_ghz(), grid.baseline_point().volt);
-    let sys = SystemConfig::table1(4);
-    println!("RM interval: {}M instructions, QoS alpha = {}",
-        sys.interval_insts / 1_000_000, sys.alpha);
+//! Thin wrapper: `triad-bench --experiment table1` (Table I — baseline configuration).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("table1"))
 }

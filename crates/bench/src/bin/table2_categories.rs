@@ -1,35 +1,4 @@
-//! Table II: application categories, derived by running the paper's §IV-C
-//! classification criteria on the detailed-simulation database.
-use triad_bench::db;
-use triad_phasedb::characterize_app;
-use triad_trace::Category;
-
-fn main() {
-    let db = db();
-    println!("TABLE II: Application categories (derived via the paper's criteria)");
-    println!("====================================================================");
-    for cat in Category::ALL {
-        let names: Vec<&str> = db
-            .apps
-            .iter()
-            .map(characterize_app)
-            .filter(|c| c.derived == cat)
-            .map(|c| c.name)
-            .collect();
-        println!("{:<6} ({}): {}", cat.label(), names.len(), names.join(", "));
-    }
-    println!();
-    println!("{:<12} {:>7} {:>7} {:>7} {:>6} {:>6} {:>6}  {:<6}",
-        "app", "MPKI@4", "MPKI@8", "MPKI@12", "MLP-S", "MLP-M", "MLP-L", "class");
-    let mut matches = 0;
-    for e in &db.apps {
-        let c = characterize_app(e);
-        if c.derived == c.expected {
-            matches += 1;
-        }
-        println!("{:<12} {:>7.2} {:>7.2} {:>7.2} {:>6.2} {:>6.2} {:>6.2}  {}",
-            c.name, c.mpki[0], c.mpki[1], c.mpki[2], c.mlp[0], c.mlp[1], c.mlp[2],
-            c.derived.label());
-    }
-    println!("\n{matches}/27 match the paper's Table II");
+//! Thin wrapper: `triad-bench --experiment table2` (Table II — derived application categories).
+fn main() -> std::process::ExitCode {
+    triad_bench::cli::main_with(Some("table2"))
 }

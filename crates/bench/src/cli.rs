@@ -1,0 +1,219 @@
+//! The `triad-bench` command line: one driver for every experiment.
+//!
+//! ```text
+//! triad-bench --experiment fig6 --cores 8 --json out.json
+//! triad-bench --experiment fig2 --compare-serial
+//! triad-bench --experiment custom --apps mcf,povray,gcc,libquantum --rm rm3 --model model2
+//! ```
+//!
+//! Adding a scenario is a spec, not a binary: `custom` assembles an
+//! [`ExperimentSpec`] straight from the flags. The per-figure binaries are
+//! kept as wrappers that pre-select `--experiment` and forward the rest.
+
+use crate::build_db;
+use crate::reports::{self, RunOptions};
+use triad_phasedb::DbConfig;
+use triad_sim::campaign::{parse_model, parse_rm, ExperimentSpec};
+
+const USAGE: &str = "\
+triad-bench — campaign-driven experiment harness
+
+USAGE:
+    triad-bench --experiment <NAME> [OPTIONS]
+
+EXPERIMENTS:
+    table1, table2, fig1, fig2, fig6, fig7, fig8, fig9, overheads, custom
+
+OPTIONS:
+    -e, --experiment <NAME>   which experiment to run (required)
+        --cores <N>           core count (fig6/fig9: default '4 and 8'; fig7/fig8: default 4)
+        --seed <N>            workload-generation seed [default: 2020]
+        --json <PATH>         write the machine-readable report to PATH
+        --threads <N>         campaign worker threads (0 = all cores) [default: 0]
+        --compare-serial      also run the campaign serially and report the speedup
+        --intervals <N>       override the simulated horizon (RM intervals per app)
+        --fast                fast database (noisier stats) and a short horizon
+        --apps <A,B,..>       custom: one application per core
+        --rm <KIND>           custom: idle | rm1 | rm2 | rm3 | rm3full [default: rm3]
+        --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
+        --alpha <X>           custom: QoS slack factor [default: 1.0]
+        --no-overheads        custom: do not charge transition/RM overheads
+    -h, --help                print this help
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub experiment: String,
+    pub cores: Option<usize>,
+    pub seed: u64,
+    pub json: Option<String>,
+    pub threads: usize,
+    pub compare_serial: bool,
+    pub intervals: Option<usize>,
+    pub fast: bool,
+    pub apps: Vec<String>,
+    pub rm: String,
+    pub model: String,
+    pub alpha: f64,
+    pub no_overheads: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            experiment: String::new(),
+            cores: None,
+            seed: 2020,
+            json: None,
+            threads: 0,
+            compare_serial: false,
+            intervals: None,
+            fast: false,
+            apps: Vec::new(),
+            rm: "rm3".into(),
+            model: "model3".into(),
+            alpha: 1.0,
+            no_overheads: false,
+        }
+    }
+}
+
+/// Parse flags (no `std::env` access, so wrappers can inject).
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str|
+     -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-e" | "--experiment" => args.experiment = value(&mut it, a)?,
+            "--cores" => {
+                args.cores = Some(value(&mut it, a)?.parse().map_err(|e| format!("--cores: {e}"))?)
+            }
+            "--seed" => {
+                args.seed = value(&mut it, a)?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => args.json = Some(value(&mut it, a)?),
+            "--threads" => {
+                args.threads = value(&mut it, a)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--compare-serial" => args.compare_serial = true,
+            "--intervals" => {
+                args.intervals =
+                    Some(value(&mut it, a)?.parse().map_err(|e| format!("--intervals: {e}"))?)
+            }
+            "--fast" => args.fast = true,
+            "--apps" => {
+                args.apps = value(&mut it, a)?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--rm" => args.rm = value(&mut it, a)?,
+            "--model" => args.model = value(&mut it, a)?,
+            "--alpha" => {
+                args.alpha = value(&mut it, a)?.parse().map_err(|e| format!("--alpha: {e}"))?
+            }
+            "--no-overheads" => args.no_overheads = true,
+            "-h" | "--help" => {
+                args.experiment = "help".into();
+                return Ok(args);
+            }
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    if args.experiment.is_empty() {
+        return Err(format!("--experiment is required\n\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+/// Run a parsed command line; returns the process exit code.
+pub fn run(args: &Args) -> Result<(), String> {
+    if args.experiment == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let run_opts = RunOptions {
+        threads: args.threads,
+        compare_serial: args.compare_serial,
+        intervals: args.intervals.or(if args.fast { Some(32) } else { None }),
+    };
+    const EXPERIMENTS: [&str; 10] =
+        ["table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "overheads", "custom"];
+    if !EXPERIMENTS.contains(&args.experiment.as_str()) {
+        return Err(format!("unknown experiment {}\n\n{USAGE}", args.experiment));
+    }
+    // Validate everything cheap *before* paying for the database build.
+    let custom_rm_model = if args.experiment == "custom" {
+        if args.apps.len() < 2 {
+            return Err("custom experiments need --apps with at least two names".into());
+        }
+        if let Some(bad) = args.apps.iter().find(|n| triad_trace::by_name(n).is_none()) {
+            let known: Vec<&str> = triad_trace::suite().iter().map(|a| a.name).collect();
+            return Err(format!(
+                "unknown application {bad}; the suite contains: {}",
+                known.join(", ")
+            ));
+        }
+        let rm = parse_rm(&args.rm).ok_or_else(|| format!("unknown --rm {}", args.rm))?;
+        let model =
+            parse_model(&args.model).ok_or_else(|| format!("unknown --model {}", args.model))?;
+        Some((rm, model))
+    } else {
+        None
+    };
+    let db_cfg = if args.fast { DbConfig::fast() } else { DbConfig::default() };
+    let needs_db = !matches!(args.experiment.as_str(), "table1" | "fig1");
+    let db = if needs_db { Some(build_db(&db_cfg)) } else { None };
+    let db = db.as_ref();
+
+    let both = [4usize, 8];
+    let core_list = |args: &Args| args.cores.map(|c| vec![c]).unwrap_or_else(|| both.to_vec());
+    let doc = match args.experiment.as_str() {
+        "table1" => reports::table1(),
+        "table2" => reports::table2(db.unwrap()),
+        "fig1" => reports::fig1(),
+        "fig2" => reports::fig2(db.unwrap(), &run_opts),
+        "fig6" => reports::fig6(db.unwrap(), &core_list(args), args.seed, &run_opts),
+        "fig7" => reports::fig7(db.unwrap(), args.cores.unwrap_or(4)),
+        "fig8" => reports::fig8(db.unwrap(), args.cores.unwrap_or(4)),
+        "fig9" => reports::fig9(db.unwrap(), &core_list(args), args.seed, &run_opts),
+        "overheads" => reports::overheads(db.unwrap(), args.seed, run_opts.intervals),
+        "custom" => {
+            let (rm, model) = custom_rm_model.expect("validated above");
+            let names: Vec<&str> = args.apps.iter().map(String::as_str).collect();
+            let spec = ExperimentSpec::new(format!("custom/{}", args.apps.join("+")), &names)
+                .rm(rm)
+                .model(model)
+                .alpha(args.alpha)
+                .overheads(!args.no_overheads)
+                .seed(args.seed);
+            reports::custom(db.unwrap(), spec, &run_opts)
+        }
+        _ => unreachable!("experiment name validated against EXPERIMENTS above"),
+    };
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, doc.to_string_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    Ok(())
+}
+
+/// Entry point shared by `triad-bench` and the per-figure wrappers: the
+/// wrapper passes its fixed experiment name, the driver passes `None`.
+pub fn main_with(fixed_experiment: Option<&str>) -> std::process::ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(e) = fixed_experiment {
+        argv.splice(0..0, ["--experiment".to_string(), e.to_string()]);
+    }
+    match parse_args(&argv).and_then(|a| run(&a)) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

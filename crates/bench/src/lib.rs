@@ -1,27 +1,37 @@
-//! # triad-bench — experiment harness regenerating every table and figure
+//! # triad-bench — the campaign-driven experiment harness
 //!
-//! One binary per table/figure of the paper (run with
-//! `cargo run --release -p triad-bench --bin <name>`):
+//! One CLI driver regenerates every table and figure of the paper:
 //!
-//! | binary               | reproduces |
-//! |----------------------|------------|
-//! | `table1_config`      | Table I — baseline configuration |
-//! | `table2_categories`  | Table II — application categories via the §IV-C criteria |
-//! | `fig1_tradeoffs`     | Fig. 1 — category-mix probabilities and scenarios |
-//! | `fig2_twocore`       | Fig. 2 — two-core scenario savings (perfect models) |
-//! | `fig6_energy`        | Fig. 6 — RM1/RM2/RM3 savings on 4- and 8-core workloads |
-//! | `fig7_qos`           | Fig. 7 — QoS-violation probability / expected value / σ |
-//! | `fig8_violation_dist`| Fig. 8 — violation-magnitude distribution |
-//! | `fig9_model_effect`  | Fig. 9 — RM3 savings under Model1/2/3 vs perfect |
-//! | `overheads`          | §III-E — RM algorithm operation counts and runtime |
+//! ```text
+//! cargo run --release --bin triad-bench -- --experiment fig6 --cores 8 --json out.json
+//! ```
 //!
-//! Criterion benches (`cargo bench -p triad-bench`): the RM-invocation cost
-//! versus core count (the §III-E instruction-count measurement) and the
-//! substrate throughputs (cache classification, timing simulation, ATD+MLP
-//! monitor, global optimizer).
+//! | experiment  | reproduces |
+//! |-------------|------------|
+//! | `table1`    | Table I — baseline configuration |
+//! | `table2`    | Table II — application categories via the §IV-C criteria |
+//! | `fig1`      | Fig. 1 — category-mix probabilities and scenarios |
+//! | `fig2`      | Fig. 2 — two-core scenario savings (perfect models) |
+//! | `fig6`      | Fig. 6 — RM1/RM2/RM3 savings on 4-/8-core workloads |
+//! | `fig7`      | Fig. 7 — QoS-violation probability / expected value / σ |
+//! | `fig8`      | Fig. 8 — violation-magnitude distribution |
+//! | `fig9`      | Fig. 9 — RM3 savings under Model1/2/3 vs perfect |
+//! | `overheads` | §III-E — RM algorithm operation counts and runtime |
+//! | `custom`    | any ad-hoc workload/controller/model campaign spec |
 //!
-//! The shared [`db()`] helper builds (and memoizes per process) the full
-//! detailed-simulation database.
+//! Simulation-backed experiments expand into [`triad_sim::Campaign`] specs
+//! and run in parallel with shared memoized idle baselines; `--json`
+//! writes the canonical campaign report next to the figure summary. The
+//! historical per-figure binaries (`fig6_energy`, …) remain as thin
+//! wrappers that pre-select `--experiment`.
+//!
+//! Plain-timing benches (`cargo bench -p triad-bench`): the RM-invocation
+//! cost versus core count (the §III-E instruction-count measurement) and
+//! the substrate throughputs (cache classification, timing simulation,
+//! ATD+MLP monitor, global optimizer).
+
+pub mod cli;
+pub mod reports;
 
 use std::sync::OnceLock;
 use triad_phasedb::{build_suite, DbConfig, PhaseDb};
@@ -29,13 +39,17 @@ use triad_phasedb::{build_suite, DbConfig, PhaseDb};
 /// Build (once per process) the full-suite phase database.
 pub fn db() -> &'static PhaseDb {
     static DB: OnceLock<PhaseDb> = OnceLock::new();
-    DB.get_or_init(|| {
-        eprintln!("building the detailed-simulation database (all 27 apps)...");
-        let t = std::time::Instant::now();
-        let db = build_suite(&DbConfig::default());
-        eprintln!("database ready in {:.1}s", t.elapsed().as_secs_f64());
-        db
-    })
+    DB.get_or_init(|| build_db(&DbConfig::default()))
+}
+
+/// Build a full-suite database with an explicit configuration, reporting
+/// progress on stderr.
+pub fn build_db(cfg: &DbConfig) -> PhaseDb {
+    eprintln!("building the detailed-simulation database (all 27 apps)...");
+    let t = std::time::Instant::now();
+    let db = build_suite(cfg);
+    eprintln!("database ready in {:.1}s", t.elapsed().as_secs_f64());
+    db
 }
 
 /// Format a savings fraction as a percentage string.

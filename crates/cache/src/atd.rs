@@ -112,8 +112,8 @@ impl Atd {
 mod tests {
     use super::*;
     use crate::lru::SetAssocCache;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use triad_util::rand::rngs::StdRng;
+    use triad_util::rand::{RngExt, SeedableRng};
 
     #[test]
     fn stack_distance_reflects_reuse() {

@@ -98,11 +98,7 @@ impl MlpMonitor {
     pub fn new(min_ways: usize, max_ways: usize) -> Self {
         assert!(min_ways >= 1 && max_ways >= min_ways);
         let n_ways = max_ways - min_ways + 1;
-        MlpMonitor {
-            min_ways,
-            n_ways,
-            counters: vec![Counter::new(); CoreSize::COUNT * n_ways],
-        }
+        MlpMonitor { min_ways, n_ways, counters: vec![Counter::new(); CoreSize::COUNT * n_ways] }
     }
 
     /// The Table I monitor (2..=16 ways).
@@ -178,9 +174,9 @@ impl MlpMonitor {
     pub fn lm_matrix(&self) -> Vec<Vec<u64>> {
         CoreSize::ALL
             .iter()
-            .map(|&c| (self.min_ways..self.min_ways + self.n_ways)
-                .map(|w| self.lm_count(c, w))
-                .collect())
+            .map(|&c| {
+                (self.min_ways..self.min_ways + self.n_ways).map(|w| self.lm_count(c, w)).collect()
+            })
             .collect()
     }
 

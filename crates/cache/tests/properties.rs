@@ -1,18 +1,22 @@
-//! Property-based tests for the cache substrate.
+//! Randomized property tests for the cache substrate, driven by the
+//! deterministic workspace PRNG (failures reproduce bit-exactly from the
+//! printed trial number).
 
-use proptest::prelude::*;
-use triad_cache::{atd::COLD, Atd, MlpMonitor, SetAssocCache};
 use triad_arch::CoreSize;
+use triad_cache::{atd::COLD, Atd, MlpMonitor, SetAssocCache};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// The load-bearing ATD property: for every address stream and every
-    /// allocation w, the ATD's stack-distance prediction must agree with a
-    /// real w-way LRU cache of the same set count (LRU inclusion).
-    #[test]
-    fn atd_predicts_every_lru_cache(
-        addrs in prop::collection::vec(0u64..512, 1..400),
-        ways in 1usize..8,
-    ) {
+/// The load-bearing ATD property: for every address stream and every
+/// allocation w, the ATD's stack-distance prediction must agree with a
+/// real w-way LRU cache of the same set count (LRU inclusion).
+#[test]
+fn atd_predicts_every_lru_cache() {
+    let mut rng = StdRng::seed_from_u64(0xA7D);
+    for trial in 0..60 {
+        let ways = 1 + trial % 7;
+        let len = 1 + rng.random_range(0usize..400);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.random_range(0u64..512)).collect();
         let sets = 8;
         let mut atd = Atd::new(sets, 8);
         let mut cache = SetAssocCache::new(sets, ways);
@@ -21,63 +25,75 @@ proptest! {
             let addr = a * 64;
             let d = atd.access(addr);
             let hit = cache.access(addr);
-            prop_assert_eq!(hit, d != COLD && (d as usize) < ways);
+            assert_eq!(hit, d != COLD && (d as usize) < ways, "trial {trial}");
             if !hit {
                 direct_misses += 1;
             }
         }
-        prop_assert_eq!(atd.miss_count(ways), direct_misses);
+        assert_eq!(atd.miss_count(ways), direct_misses, "trial {trial}");
     }
+}
 
-    /// Miss curves are monotone non-increasing in the allocation.
-    #[test]
-    fn miss_curve_monotone(addrs in prop::collection::vec(0u64..4096, 1..600)) {
+/// Miss curves are monotone non-increasing in the allocation, and the
+/// access total is conserved.
+#[test]
+fn miss_curve_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xCA53);
+    for trial in 0..40 {
+        let len = 1 + rng.random_range(0usize..600);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.random_range(0u64..4096)).collect();
         let mut atd = Atd::new(16, 16);
         for &a in &addrs {
             atd.access(a * 64);
         }
         let curve = atd.miss_curve();
         for w in curve.windows(2) {
-            prop_assert!(w[0] >= w[1]);
+            assert!(w[0] >= w[1], "trial {trial}");
         }
-        // And the hit+miss total is conserved.
-        prop_assert_eq!(atd.accesses(), addrs.len() as u64);
+        assert_eq!(atd.accesses(), addrs.len() as u64, "trial {trial}");
     }
+}
 
-    /// The MLP monitor never counts more leading misses than misses, and a
-    /// larger core never sees more leading misses on in-order feeds.
-    #[test]
-    fn monitor_lm_bounds(
-        steps in prop::collection::vec(1u64..400, 1..200),
-        dists in prop::collection::vec(0u8..18, 1..200),
-    ) {
+/// The MLP monitor never counts more leading misses than misses, and a
+/// larger core never sees more leading misses on in-order feeds.
+#[test]
+fn monitor_lm_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x111);
+    for trial in 0..40 {
+        let n = 1 + rng.random_range(0usize..200);
         let mut mon = MlpMonitor::table1();
         let mut idx = 0u64;
-        for (s, d) in steps.iter().zip(&dists) {
-            idx += s;
-            let dist = if *d >= 16 { COLD } else { *d };
+        for _ in 0..n {
+            idx += rng.random_range(1u64..400);
+            let d = rng.random_range(0u8..18);
+            let dist = if d >= 16 { COLD } else { d };
             mon.on_llc_load(idx, dist);
         }
         for w in 2..=16 {
             let misses = mon.miss_count(CoreSize::M, w);
             for c in CoreSize::ALL {
-                prop_assert!(mon.lm_count(c, w) <= misses);
-                prop_assert!(mon.lm_count(c, w) + mon.ov_count(c, w) == misses);
-                prop_assert!(mon.mlp(c, w) >= 1.0);
+                assert!(mon.lm_count(c, w) <= misses, "trial {trial} w={w}");
+                assert!(mon.lm_count(c, w) + mon.ov_count(c, w) == misses, "trial {trial} w={w}");
+                assert!(mon.mlp(c, w) >= 1.0, "trial {trial} w={w}");
             }
             // In-order arrivals: monotone in core size.
-            prop_assert!(mon.lm_count(CoreSize::S, w) >= mon.lm_count(CoreSize::M, w));
-            prop_assert!(mon.lm_count(CoreSize::M, w) >= mon.lm_count(CoreSize::L, w));
+            assert!(mon.lm_count(CoreSize::S, w) >= mon.lm_count(CoreSize::M, w), "trial {trial}");
+            assert!(mon.lm_count(CoreSize::M, w) >= mon.lm_count(CoreSize::L, w), "trial {trial}");
         }
     }
+}
 
-    /// Cache behavior is purely functional in the access stream.
-    #[test]
-    fn cache_is_deterministic(addrs in prop::collection::vec(0u64..1024, 1..300)) {
+/// Cache behavior is purely functional in the access stream.
+#[test]
+fn cache_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDE7);
+    for _ in 0..20 {
+        let len = 1 + rng.random_range(0usize..300);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.random_range(0u64..1024)).collect();
         let run = || {
             let mut c = SetAssocCache::new(16, 4);
             addrs.iter().map(|&a| c.access(a * 64)).collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -76,10 +76,7 @@ impl EnergyModel {
     pub fn core_dynamic_power(&self, c: CoreSize, vf: VfPoint, util: f64) -> f64 {
         let p = self.core[c.index()];
         let activity = self.dyn_floor + (1.0 - self.dyn_floor) * util.clamp(0.0, 1.0);
-        p.dyn_ref_w
-            * activity
-            * (vf.volt / REF_VOLT).powi(2)
-            * (vf.freq_hz / REF_FREQ_HZ)
+        p.dyn_ref_w * activity * (vf.volt / REF_VOLT).powi(2) * (vf.freq_hz / REF_FREQ_HZ)
     }
 
     /// Static core power at operating point `vf` (leakage ∝ V over the
@@ -154,8 +151,7 @@ mod tests {
     #[test]
     fn bigger_cores_burn_more_power() {
         let m = EnergyModel::default_model();
-        let p: Vec<f64> =
-            CoreSize::ALL.iter().map(|&c| m.core_power(c, vf(2.0), 0.8)).collect();
+        let p: Vec<f64> = CoreSize::ALL.iter().map(|&c| m.core_power(c, vf(2.0), 0.8)).collect();
         assert!(p[0] < p[1] && p[1] < p[2], "{p:?}");
     }
 

@@ -9,16 +9,28 @@ fn main() {
     let db = build_suite(&DbConfig::default());
     eprintln!("db built in {:.1}s", t0.elapsed().as_secs_f64());
     let mut ok = 0;
-    println!("{:<11} {:>7} {:>7} {:>7}  {:>5} {:>5} {:>5}  {:<6} {:<6} match",
-             "app", "mpki4", "mpki8", "mpki12", "mlpS", "mlpM", "mlpL", "expect", "derive");
+    println!(
+        "{:<11} {:>7} {:>7} {:>7}  {:>5} {:>5} {:>5}  {:<6} {:<6} match",
+        "app", "mpki4", "mpki8", "mpki12", "mlpS", "mlpM", "mlpL", "expect", "derive"
+    );
     for e in &db.apps {
         let c = characterize_app(e);
         let m = c.derived == c.expected;
-        if m { ok += 1; }
+        if m {
+            ok += 1;
+        }
         println!(
             "{:<11} {:>7.2} {:>7.2} {:>7.2}  {:>5.2} {:>5.2} {:>5.2}  {:<6} {:<6} {}",
-            c.name, c.mpki[0], c.mpki[1], c.mpki[2], c.mlp[0], c.mlp[1], c.mlp[2],
-            c.expected.label(), c.derived.label(), if m { "ok" } else { "MISMATCH" }
+            c.name,
+            c.mpki[0],
+            c.mpki[1],
+            c.mpki[2],
+            c.mlp[0],
+            c.mlp[1],
+            c.mlp[2],
+            c.expected.label(),
+            c.derived.label(),
+            if m { "ok" } else { "MISMATCH" }
         );
     }
     println!("{ok}/27 match Table II");

@@ -1,8 +1,6 @@
 //! Parallel database construction.
 
 use crate::record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, W_MAX, W_MIN};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{classify_warm, MlpMonitor};
 use triad_trace::{AppSpec, PhaseSpec};
@@ -44,9 +42,12 @@ impl DbConfig {
         }
     }
 
-    /// Reduced configuration for unit tests (≈10× faster, noisier stats).
+    /// Reduced configuration for unit tests (several times faster, noisier
+    /// stats). The full warm-up is kept: a cold LLC inflates the flat part
+    /// of every miss curve, which washes out the relative cache-sensitivity
+    /// margins the Table II archetypes are calibrated to.
     pub const fn fast() -> Self {
-        DbConfig { warmup: 320_000, detail: 16_000, ..Self::default_config() }
+        DbConfig { detail: 32_000, ..Self::default_config() }
     }
 }
 
@@ -73,35 +74,14 @@ pub fn build_apps(apps: &[AppSpec], cfg: &DbConfig) -> PhaseDb {
             tasks.push((ai, pi));
         }
     }
-    let results: Mutex<Vec<Option<PhaseRecord>>> = Mutex::new(vec![None; tasks.len()]);
-    let next = AtomicUsize::new(0);
-    let n_threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        cfg.threads
-    }
-    .min(tasks.len().max(1));
-
-    crossbeam::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|_| loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= tasks.len() {
-                    break;
-                }
-                let (ai, pi) = tasks[t];
-                let rec = build_phase(&apps[ai].phases[pi], cfg);
-                results.lock()[t] = Some(rec);
-            });
-        }
+    let mut flat = triad_util::par::par_map(&tasks, cfg.threads, |&(ai, pi)| {
+        build_phase(&apps[ai].phases[pi], cfg)
     })
-    .expect("database build worker panicked");
-
-    let mut flat = results.into_inner().into_iter();
+    .into_iter();
     let mut out = Vec::with_capacity(apps.len());
     for app in apps {
         let records: Vec<PhaseRecord> =
-            (0..app.phases.len()).map(|_| flat.next().unwrap().unwrap()).collect();
+            (0..app.phases.len()).map(|_| flat.next().unwrap()).collect();
         out.push(AppDbEntry { spec: app.clone(), records });
     }
     PhaseDb { apps: out }
@@ -164,9 +144,7 @@ pub fn build_phase(spec: &PhaseSpec, cfg: &DbConfig) -> PhaseRecord {
             // counters are frequency-independent; Tmem is stored in seconds.
             let lm_pi: Vec<f64> = CoreSize::ALL
                 .iter()
-                .flat_map(|&tc| {
-                    (W_MIN..=W_MAX).map(move |tw| (tc, tw))
-                })
+                .flat_map(|&tc| (W_MIN..=W_MAX).map(move |tw| (tc, tw)))
                 .map(|(tc, tw)| mon.lm_count(tc, tw) as f64 / n)
                 .collect();
             monitor.push(MonitorStats {
@@ -181,7 +159,16 @@ pub fn build_phase(spec: &PhaseSpec, cfg: &DbConfig) -> PhaseRecord {
         }
     }
 
-    PhaseRecord { a_cpi, b_spi, monitor, miss_curve_pi, load_miss_curve_pi, llc_acc_pi, wb_frac, true_mlp }
+    PhaseRecord {
+        a_cpi,
+        b_spi,
+        monitor,
+        miss_curve_pi,
+        load_miss_curve_pi,
+        llc_acc_pi,
+        wb_frac,
+        true_mlp,
+    }
 }
 
 #[cfg(test)]

@@ -42,11 +42,8 @@ pub fn characterize_app(entry: &AppDbEntry) -> AppCharacterization {
         mpki8 >= 0.2 && ((mpki4 - mpki8).abs().max((mpki12 - mpki8).abs())) > 0.2 * mpki8;
 
     let mlp = |c: triad_arch::CoreSize| entry.weighted(|r| r.true_mlp[cw(c, 8)]);
-    let (mlp_s, mlp_m, mlp_l) = (
-        mlp(triad_arch::CoreSize::S),
-        mlp(triad_arch::CoreSize::M),
-        mlp(triad_arch::CoreSize::L),
-    );
+    let (mlp_s, mlp_m, mlp_l) =
+        (mlp(triad_arch::CoreSize::S), mlp(triad_arch::CoreSize::M), mlp(triad_arch::CoreSize::L));
     let parallelism_sensitive = mlp_l >= 2.0 && (mlp_l - mlp_s) > 0.3 * mlp_m;
 
     let derived = match (cache_sensitive, parallelism_sensitive) {
@@ -78,16 +75,11 @@ mod tests {
     #[test]
     fn archetypes_classify_correctly() {
         let names = ["mcf", "xalancbmk", "libquantum", "povray"];
-        let apps: Vec<_> =
-            suite().into_iter().filter(|a| names.contains(&a.name)).collect();
+        let apps: Vec<_> = suite().into_iter().filter(|a| names.contains(&a.name)).collect();
         let db = build_apps(&apps, &DbConfig::fast());
         for e in &db.apps {
             let c = characterize_app(e);
-            assert_eq!(
-                c.derived, c.expected,
-                "{}: mpki {:?} mlp {:?}",
-                c.name, c.mpki, c.mlp
-            );
+            assert_eq!(c.derived, c.expected, "{}: mpki {:?} mlp {:?}", c.name, c.mpki, c.mlp);
         }
     }
 }

@@ -134,12 +134,7 @@ impl AppDbEntry {
     /// Weighted average of `f(record)` over the phase weights — the
     /// SimPoint-style whole-program estimate.
     pub fn weighted<F: Fn(&PhaseRecord) -> f64>(&self, f: F) -> f64 {
-        self.spec
-            .phase_weights()
-            .iter()
-            .zip(&self.records)
-            .map(|(w, r)| w * f(r))
-            .sum()
+        self.spec.phase_weights().iter().zip(&self.records).map(|(w, r)| w * f(r)).sum()
     }
 }
 
@@ -163,7 +158,7 @@ mod tests {
 
     #[test]
     fn cw_indexing_is_dense_and_bijective() {
-        let mut seen = vec![false; NC * NW];
+        let mut seen = [false; NC * NW];
         for c in CoreSize::ALL {
             for w in W_MIN..=W_MAX {
                 let i = cw(c, w);

@@ -100,10 +100,7 @@ fn build_tree(curves: &[EnergyCurve], lo: usize, hi: usize, ops: &mut u64) -> No
 /// Returns the allocation, the optimal energy and the iteration count, or
 /// `None` when no feasible assignment exists (every per-core curve must
 /// have at least one finite point summing to `total`).
-pub fn optimize_partition(
-    curves: &[EnergyCurve],
-    total: usize,
-) -> Option<(Vec<usize>, f64, u64)> {
+pub fn optimize_partition(curves: &[EnergyCurve], total: usize) -> Option<(Vec<usize>, f64, u64)> {
     assert!(!curves.is_empty());
     let mut ops = 0u64;
     let root = build_tree(curves, 0, curves.len(), &mut ops);
@@ -123,8 +120,8 @@ pub fn optimize_partition(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use triad_util::rand::rngs::StdRng;
+    use triad_util::rand::{RngExt, SeedableRng};
 
     fn curve(min_w: usize, energy: Vec<f64>) -> EnergyCurve {
         EnergyCurve { min_w, energy }
@@ -141,10 +138,11 @@ mod tests {
             best: &mut Option<(Vec<usize>, f64)>,
         ) {
             if i == curves.len() {
-                if left == 0 && acc.is_finite() {
-                    if best.as_ref().map(|(_, e)| acc < *e).unwrap_or(true) {
-                        *best = Some((cur.clone(), acc));
-                    }
+                if left == 0
+                    && acc.is_finite()
+                    && best.as_ref().map(|(_, e)| acc < *e).unwrap_or(true)
+                {
+                    *best = Some((cur.clone(), acc));
                 }
                 return;
             }
@@ -248,9 +246,8 @@ mod tests {
     #[test]
     fn reduction_is_order_insensitive_in_value() {
         let mut rng = StdRng::seed_from_u64(7);
-        let curves: Vec<EnergyCurve> = (0..5)
-            .map(|_| curve(2, (0..15).map(|_| rng.random::<f64>()).collect()))
-            .collect();
+        let curves: Vec<EnergyCurve> =
+            (0..5).map(|_| curve(2, (0..15).map(|_| rng.random::<f64>()).collect())).collect();
         let (_, e1, _) = optimize_partition(&curves, 40).unwrap();
         let mut rev = curves.clone();
         rev.reverse();

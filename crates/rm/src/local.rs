@@ -53,11 +53,7 @@ impl RmKind {
     pub fn core_choices(self, baseline: CoreSize) -> Vec<CoreSize> {
         match self {
             RmKind::Rm1 | RmKind::Rm2 => vec![baseline],
-            RmKind::Rm3 => CoreSize::ALL
-                .iter()
-                .copied()
-                .filter(|&c| c >= baseline)
-                .collect(),
+            RmKind::Rm3 => CoreSize::ALL.iter().copied().filter(|&c| c >= baseline).collect(),
             RmKind::Rm3Full => CoreSize::ALL.to_vec(),
         }
     }
@@ -257,9 +253,8 @@ mod tests {
         }
         // In this toy, the L core at a low VF beats M pushed high: RM3
         // should pick a larger core somewhere.
-        let picked_l = (2..=16).any(|w| {
-            p3.setting_at(w).map(|s| s.core == CoreSize::L).unwrap_or(false)
-        });
+        let picked_l =
+            (2..=16).any(|w| p3.setting_at(w).map(|s| s.core == CoreSize::L).unwrap_or(false));
         assert!(picked_l, "RM3 should exploit the wide core");
     }
 

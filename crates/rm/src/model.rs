@@ -110,12 +110,12 @@ impl<'a> OnlineModel<'a> {
         let vf = self.grid.point(s.vf);
         let cap_ratio = self.energy.core[s.core.index()].dyn_ref_w
             / self.energy.core[self.obs.current.core.index()].dyn_ref_w;
-        let p_dyn = self.obs.sampled_dyn_w
-            * cap_ratio
-            * (vf.volt * vf.volt * vf.freq_hz) / (cur_vf.volt * cur_vf.volt * cur_vf.freq_hz);
+        let p_dyn = self.obs.sampled_dyn_w * cap_ratio * (vf.volt * vf.volt * vf.freq_hz)
+            / (cur_vf.volt * cur_vf.volt * cur_vf.freq_hz);
         let p_static = self.energy.core_static_power(s.core, vf);
         let t = self.time_pi(s);
-        let dm = self.obs.miss_curve_pi[s.ways - 1] - self.obs.miss_curve_pi[self.obs.current.ways - 1];
+        let dm =
+            self.obs.miss_curve_pi[s.ways - 1] - self.obs.miss_curve_pi[self.obs.current.ways - 1];
         let e_mem = (self.obs.stats.ma_pi + dm) * self.energy.dram_energy_per_access_j;
         (p_dyn + p_static) * t + e_mem.max(0.0)
     }

@@ -21,10 +21,8 @@ pub struct RmDecision {
 /// infeasible — which cannot happen when each local plan kept its baseline
 /// allocation feasible, but is handled defensively.
 pub fn plan_system(plans: &[LocalPlan], total_ways: usize, baseline: Setting) -> RmDecision {
-    let curves: Vec<EnergyCurve> = plans
-        .iter()
-        .map(|p| EnergyCurve { min_w: p.min_w, energy: p.energy.clone() })
-        .collect();
+    let curves: Vec<EnergyCurve> =
+        plans.iter().map(|p| EnergyCurve { min_w: p.min_w, energy: p.energy.clone() }).collect();
     let local_ops: u64 = plans.iter().map(|p| p.ops).sum();
     match optimize_partition(&curves, total_ways) {
         Some((ways, energy, global_ops)) => {
@@ -88,11 +86,7 @@ mod tests {
         let d = plan_system(&[p0, p1], sys.total_ways(), b);
         assert_eq!(d.settings.len(), 2);
         assert_eq!(d.settings[0].ways + d.settings[1].ways, 16);
-        assert!(
-            d.settings[0].ways >= 12,
-            "hungry core should receive the knee: {:?}",
-            d.settings
-        );
+        assert!(d.settings[0].ways >= 12, "hungry core should receive the knee: {:?}", d.settings);
         assert!(d.predicted_energy.is_finite());
     }
 

@@ -1,0 +1,451 @@
+//! Declarative, parallel experiment campaigns.
+//!
+//! Every §V experiment is some set of *(workload, controller, model,
+//! α, overheads)* points evaluated against the shared idle-RM reference.
+//! Instead of hand-rolling that loop per figure, a [`Campaign`] takes a
+//! list of [`ExperimentSpec`]s — pure descriptions of single simulator
+//! runs — and executes them in parallel over scoped threads with two
+//! sharing optimizations:
+//!
+//! 1. the detailed-simulation [`PhaseDb`] is borrowed by every worker
+//!    (it is immutable during a campaign), and
+//! 2. idle-RM baselines are **memoized**: specs that share a workload
+//!    (and horizon) share one idle reference run instead of each
+//!    re-simulating it.
+//!
+//! Execution is deterministic: the simulator itself is a pure function of
+//! its spec, workers write into order-preserving slots, and the JSON
+//! serialization is canonical — so the same campaign produces
+//! byte-identical output at any thread count. The experiment drivers in
+//! [`crate::experiments`] and the `triad-bench` CLI are thin layers over
+//! this module.
+
+use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
+use crate::workload::{Scenario, Workload};
+use std::collections::HashMap;
+use triad_phasedb::PhaseDb;
+use triad_rm::{ModelKind, RmKind};
+use triad_util::json::Json;
+use triad_util::par;
+
+/// A pure description of one simulator run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Row label, e.g. `"4Core-W7/RM3"`.
+    pub name: String,
+    /// One application name per core.
+    pub apps: Vec<String>,
+    /// The Fig. 1 scenario this workload was generated for, if known.
+    pub scenario: Option<Scenario>,
+    /// Controller; `None` = the idle RM (baseline pinned).
+    pub rm: Option<RmKind>,
+    /// Predictor flavor.
+    pub model: SimModel,
+    /// QoS slack `α` (Eq. 3).
+    pub alpha: f64,
+    /// Charge DVFS/resize/RM-software overheads (§III-E).
+    pub overheads: bool,
+    /// Simulated horizon per application, in RM intervals.
+    pub target_intervals: usize,
+    /// Workload-generation seed, recorded for provenance.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A spec with the paper's headline defaults: RM3 with the proposed
+    /// Model3, overheads on, `α = 1`, suite-maximum horizon.
+    pub fn new(name: impl Into<String>, apps: &[&str]) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            apps: apps.iter().map(|s| s.to_string()).collect(),
+            scenario: None,
+            rm: Some(RmKind::Rm3),
+            model: SimModel::Online(ModelKind::Model3),
+            alpha: triad_arch::QOS_ALPHA,
+            overheads: true,
+            target_intervals: max_suite_intervals(),
+            seed: 0,
+        }
+    }
+
+    /// Spec for a generated [`Workload`].
+    pub fn for_workload(wl: &Workload, rm: Option<RmKind>) -> Self {
+        let rm_label = rm.map(|r| r.label()).unwrap_or("idle");
+        ExperimentSpec {
+            scenario: Some(wl.scenario),
+            rm,
+            ..Self::new(format!("{}/{rm_label}", wl.name), &wl.apps)
+        }
+    }
+
+    /// Select the controller (`None` = idle reference).
+    pub fn rm(mut self, rm: Option<RmKind>) -> Self {
+        self.rm = rm;
+        self
+    }
+
+    /// Select the predictor.
+    pub fn model(mut self, model: SimModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Perfect predictor without overheads (the Fig. 2 idealization).
+    pub fn perfect(mut self) -> Self {
+        self.model = SimModel::Perfect;
+        self.overheads = false;
+        self
+    }
+
+    /// Set the QoS slack.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Enable/disable overhead charging.
+    pub fn overheads(mut self, on: bool) -> Self {
+        self.overheads = on;
+        self
+    }
+
+    /// Shorten the simulated horizon (tests and smoke runs).
+    pub fn target_intervals(mut self, n: usize) -> Self {
+        self.target_intervals = n;
+        self
+    }
+
+    /// Record the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of cores (one application per core).
+    pub fn n_cores(&self) -> usize {
+        self.apps.len()
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::evaluation(self.rm.unwrap_or(RmKind::Rm3), self.model);
+        cfg.rm = self.rm;
+        cfg.alpha = self.alpha;
+        cfg.overheads = self.overheads;
+        cfg.target_intervals = self.target_intervals;
+        cfg
+    }
+
+    /// The memoization key of this spec's idle-RM reference: the idle run
+    /// is independent of controller, model, α and overheads (the RM is
+    /// never invoked), so only the workload and horizon matter.
+    fn baseline_key(&self) -> (Vec<String>, usize) {
+        (self.apps.clone(), self.target_intervals)
+    }
+
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.clone())
+            .set("apps", self.apps.clone())
+            .set(
+                "scenario",
+                match self.scenario {
+                    Some(s) => Json::from(s.label()),
+                    None => Json::Null,
+                },
+            )
+            .set("cores", self.n_cores())
+            .set("rm", self.rm.map(|r| r.label()).unwrap_or("idle"))
+            .set("model", model_label(self.model))
+            .set("alpha", self.alpha)
+            .set("overheads", self.overheads)
+            .set("target_intervals", self.target_intervals)
+            .set("seed", self.seed)
+    }
+}
+
+/// Display label for a predictor flavor.
+pub fn model_label(model: SimModel) -> &'static str {
+    match model {
+        SimModel::Perfect => "perfect",
+        SimModel::Online(k) => k.label(),
+    }
+}
+
+/// Parse a controller name (`idle`, `rm1`, `rm2`, `rm3`, `rm3full`).
+pub fn parse_rm(s: &str) -> Option<Option<RmKind>> {
+    match s.to_ascii_lowercase().as_str() {
+        "idle" | "none" => Some(None),
+        "rm1" => Some(Some(RmKind::Rm1)),
+        "rm2" => Some(Some(RmKind::Rm2)),
+        "rm3" => Some(Some(RmKind::Rm3)),
+        "rm3full" | "rm3-full" => Some(Some(RmKind::Rm3Full)),
+        _ => None,
+    }
+}
+
+/// Parse a predictor name (`perfect`, `model1`, `model2`, `model3`).
+pub fn parse_model(s: &str) -> Option<SimModel> {
+    match s.to_ascii_lowercase().as_str() {
+        "perfect" => Some(SimModel::Perfect),
+        "model1" | "m1" => Some(SimModel::Online(ModelKind::Model1)),
+        "model2" | "m2" => Some(SimModel::Online(ModelKind::Model2)),
+        "model3" | "m3" => Some(SimModel::Online(ModelKind::Model3)),
+        _ => None,
+    }
+}
+
+/// One executed spec: the simulation outcome plus its idle reference.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// The spec that produced this row.
+    pub spec: ExperimentSpec,
+    /// Simulation outcome.
+    pub result: SimResult,
+    /// Total energy of the shared idle-RM reference run.
+    pub idle_energy_j: f64,
+    /// Energy savings versus the idle reference (0 for idle specs).
+    pub savings: f64,
+    /// Observed QoS-violation rate (violating intervals / checked).
+    pub violation_rate: f64,
+}
+
+impl CampaignRow {
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("spec", self.spec.to_json())
+            .set("total_energy_j", self.result.total_energy_j)
+            .set("core_mem_energy_j", self.result.core_mem_energy_j)
+            .set("uncore_energy_j", self.result.uncore_energy_j)
+            .set("sim_time_s", self.result.sim_time_s)
+            .set("rm_invocations", self.result.rm_invocations)
+            .set("rm_ops", self.result.rm_ops)
+            .set("qos_violations", self.result.qos_violations)
+            .set("intervals_checked", self.result.intervals_checked)
+            .set("mean_violation", self.result.mean_violation)
+            .set("idle_energy_j", self.idle_energy_j)
+            .set("savings", self.savings)
+            .set("violation_rate", self.violation_rate)
+    }
+}
+
+/// A batch of experiment specs executed in parallel against one database.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The specs, in output order.
+    pub specs: Vec<ExperimentSpec>,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Campaign {
+    /// A campaign over the given specs using all available cores.
+    pub fn new(specs: Vec<ExperimentSpec>) -> Self {
+        Campaign { specs, threads: 0 }
+    }
+
+    /// Override the worker-thread count (1 = serial execution).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Execute every spec and return rows in spec order.
+    ///
+    /// Phase 1 runs the deduplicated idle references in parallel; phase 2
+    /// runs the specs in parallel against the memoized baselines. Both the
+    /// row order and every number in it are independent of the thread
+    /// count.
+    pub fn run(&self, db: &PhaseDb) -> Vec<CampaignRow> {
+        // Deduplicate idle-baseline keys in first-seen order.
+        let mut keys: Vec<(Vec<String>, usize)> = Vec::new();
+        for spec in &self.specs {
+            let key = spec.baseline_key();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+
+        let idle_results = par::par_map(&keys, self.threads, |(apps, target)| {
+            let names: Vec<&str> = apps.iter().map(String::as_str).collect();
+            let mut cfg = SimConfig::idle();
+            cfg.target_intervals = *target;
+            Simulator::new(db, names.len(), cfg).run(&names)
+        });
+        let baselines: HashMap<&(Vec<String>, usize), &SimResult> =
+            keys.iter().zip(&idle_results).collect();
+
+        par::par_map(&self.specs, self.threads, |spec| {
+            let idle = baselines[&spec.baseline_key()];
+            let result = if spec.rm.is_none() {
+                // The spec *is* its own baseline; reuse the memoized run.
+                (*idle).clone()
+            } else {
+                let names: Vec<&str> = spec.apps.iter().map(String::as_str).collect();
+                Simulator::new(db, names.len(), spec.sim_config()).run(&names)
+            };
+            let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
+            let violation_rate = if result.intervals_checked > 0 {
+                result.qos_violations as f64 / result.intervals_checked as f64
+            } else {
+                0.0
+            };
+            CampaignRow {
+                spec: spec.clone(),
+                idle_energy_j: idle.total_energy_j,
+                savings,
+                violation_rate,
+                result,
+            }
+        })
+    }
+
+    /// Canonical JSON document for a finished campaign.
+    pub fn report(rows: &[CampaignRow]) -> Json {
+        Json::obj()
+            .set("schema", "triad-campaign/v1")
+            .set("rows", Json::Arr(rows.iter().map(CampaignRow::to_json).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_phasedb::{build_apps, DbConfig};
+
+    fn small_db() -> PhaseDb {
+        let names = ["mcf", "libquantum", "povray", "gcc"];
+        let apps: Vec<_> =
+            triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
+        build_apps(&apps, &DbConfig::fast())
+    }
+
+    fn quick(spec: ExperimentSpec) -> ExperimentSpec {
+        spec.target_intervals(6)
+    }
+
+    #[test]
+    fn campaign_matches_direct_simulation() {
+        let db = small_db();
+        let spec = quick(ExperimentSpec::new("direct", &["mcf", "povray"]).perfect());
+        let rows = Campaign::new(vec![spec.clone()]).run(&db);
+        assert_eq!(rows.len(), 1);
+
+        let names = ["mcf", "povray"];
+        let mut cfg = SimConfig::perfect(RmKind::Rm3);
+        cfg.target_intervals = 6;
+        let direct = Simulator::new(&db, 2, cfg).run(&names);
+        let mut idle_cfg = SimConfig::idle();
+        idle_cfg.target_intervals = 6;
+        let idle = Simulator::new(&db, 2, idle_cfg).run(&names);
+
+        assert_eq!(rows[0].result.total_energy_j, direct.total_energy_j);
+        assert_eq!(rows[0].idle_energy_j, idle.total_energy_j);
+        assert_eq!(rows[0].savings, direct.savings_vs(&idle));
+    }
+
+    #[test]
+    fn idle_baselines_are_shared_and_idle_specs_reuse_them() {
+        let db = small_db();
+        let mk =
+            |name: &str, rm| quick(ExperimentSpec::new(name, &["mcf", "gcc"]).rm(rm).perfect());
+        let rows = Campaign::new(vec![
+            mk("idle", None),
+            mk("rm1", Some(RmKind::Rm1)),
+            mk("rm3", Some(RmKind::Rm3)),
+        ])
+        .run(&db);
+        // All three rows reference the same baseline energy.
+        assert_eq!(rows[0].idle_energy_j, rows[1].idle_energy_j);
+        assert_eq!(rows[1].idle_energy_j, rows[2].idle_energy_j);
+        // The idle spec IS the baseline run.
+        assert_eq!(rows[0].result.total_energy_j, rows[0].idle_energy_j);
+        assert_eq!(rows[0].savings, 0.0);
+        assert_eq!(rows[0].result.rm_invocations, 0);
+        // RM3 should do no worse than RM1 under the perfect model.
+        assert!(rows[2].savings >= rows[1].savings - 0.005);
+    }
+
+    #[test]
+    fn rows_are_thread_count_invariant() {
+        let db = small_db();
+        let specs: Vec<ExperimentSpec> = [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3]
+            .iter()
+            .map(|&rm| {
+                quick(ExperimentSpec::new(rm.label(), &["mcf", "libquantum"]))
+                    .rm(Some(rm))
+                    .perfect()
+            })
+            .collect();
+        let serial = Campaign::new(specs.clone()).threads(1).run(&db);
+        let parallel = Campaign::new(specs).threads(4).run(&db);
+        let a = Campaign::report(&serial).to_string_pretty();
+        let b = Campaign::report(&parallel).to_string_pretty();
+        assert_eq!(a, b, "campaign output must be thread-count invariant");
+    }
+
+    #[test]
+    fn json_report_has_schema_and_rows() {
+        let db = small_db();
+        let rows =
+            Campaign::new(vec![quick(ExperimentSpec::new("x", &["povray", "gcc"]).perfect())])
+                .run(&db);
+        let doc = Campaign::report(&rows);
+        assert_eq!(doc.get("schema"), Some(&Json::from("triad-campaign/v1")));
+        let s = doc.to_string_pretty();
+        assert!(s.contains("\"savings\""));
+        assert!(s.contains("\"rm\": \"RM3\""));
+    }
+
+    #[test]
+    fn four_spec_campaign_speeds_up_on_multicore_hosts() {
+        // The acceptance bar for the campaign layer: on a multi-core host,
+        // running a 4-spec campaign in parallel beats serial execution in
+        // wall-clock time while producing the same bytes. On single-core
+        // hosts only the equivalence half is checkable.
+        let db = small_db();
+        let specs: Vec<ExperimentSpec> = [
+            ("a", ["mcf", "povray"]),
+            ("b", ["mcf", "gcc"]),
+            ("c", ["libquantum", "gcc"]),
+            ("d", ["povray", "libquantum"]),
+        ]
+        .iter()
+        .map(|(name, apps)| ExperimentSpec::new(*name, apps).perfect().target_intervals(24))
+        .collect();
+
+        let t0 = std::time::Instant::now();
+        let serial = Campaign::new(specs.clone()).threads(1).run(&db);
+        let serial_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let parallel = Campaign::new(specs).threads(0).run(&db);
+        let parallel_s = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            Campaign::report(&serial).to_string_pretty(),
+            Campaign::report(&parallel).to_string_pretty()
+        );
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        eprintln!(
+            "4-spec campaign on {cores} cores: serial {serial_s:.3}s, parallel {parallel_s:.3}s"
+        );
+        if cores >= 4 {
+            assert!(
+                parallel_s < serial_s,
+                "parallel {parallel_s}s must beat serial {serial_s}s on a {cores}-core host"
+            );
+        }
+    }
+
+    #[test]
+    fn parsers_accept_cli_spellings() {
+        assert_eq!(parse_rm("idle"), Some(None));
+        assert_eq!(parse_rm("RM3"), Some(Some(RmKind::Rm3)));
+        assert_eq!(parse_rm("rm3full"), Some(Some(RmKind::Rm3Full)));
+        assert_eq!(parse_rm("bogus"), None);
+        assert_eq!(parse_model("perfect"), Some(SimModel::Perfect));
+        assert_eq!(parse_model("model2"), Some(SimModel::Online(ModelKind::Model2)));
+        assert_eq!(parse_model("bogus"), None);
+    }
+}

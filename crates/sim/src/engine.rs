@@ -14,9 +14,7 @@
 //! the uncore (LLC + NoC) energy accrues until the end of the simulation.
 
 use crate::perfect::PerfectModel;
-use triad_arch::{
-    CoreId, Setting, SystemConfig, DVFS_TRANSITION_ENERGY_J, DVFS_TRANSITION_TIME_S,
-};
+use triad_arch::{CoreId, Setting, SystemConfig, DVFS_TRANSITION_ENERGY_J, DVFS_TRANSITION_TIME_S};
 use triad_energy::{resize_drain_time_s, EnergyModel};
 use triad_mem::DramParams;
 use triad_phasedb::{AppDbEntry, PhaseDb, PhaseRecord};
@@ -277,8 +275,7 @@ impl<'a> Simulator<'a> {
                 // actual time the baseline would have taken on this phase.
                 let rec = c.record();
                 let vf = self.sys.dvfs.point(finished_setting.vf);
-                let t_act =
-                    rec.tpi(finished_setting.core, vf.freq_hz, finished_setting.ways);
+                let t_act = rec.tpi(finished_setting.core, vf.freq_hz, finished_setting.ways);
                 let bvf = self.sys.dvfs.point(baseline.vf);
                 let t_base = rec.tpi(baseline.core, bvf.freq_hz, baseline.ways);
                 c.checked += 1;
@@ -354,7 +351,14 @@ impl<'a> Simulator<'a> {
                     energy: &self.em,
                     lmem_s: self.lmem_s,
                 };
-                local_optimize(&model, kind, baseline, &self.sys.dvfs, self.sys.way_range(), self.cfg.alpha)
+                local_optimize(
+                    &model,
+                    kind,
+                    baseline,
+                    &self.sys.dvfs,
+                    self.sys.way_range(),
+                    self.cfg.alpha,
+                )
             }
             SimModel::Perfect => {
                 // Perfect assumptions: the *next* interval's phase is known.
@@ -365,7 +369,14 @@ impl<'a> Simulator<'a> {
                     grid: &self.sys.dvfs,
                     energy: &self.em,
                 };
-                local_optimize(&model, kind, baseline, &self.sys.dvfs, self.sys.way_range(), self.cfg.alpha)
+                local_optimize(
+                    &model,
+                    kind,
+                    baseline,
+                    &self.sys.dvfs,
+                    self.sys.way_range(),
+                    self.cfg.alpha,
+                )
             }
         };
         cores[j].plan = Some(plan);
@@ -390,7 +401,7 @@ impl<'a> Simulator<'a> {
         let decision = plan_system(&plans, self.sys.total_ways(), baseline);
 
         // Apply, charging transition overheads.
-        let mut ops = decision.ops;
+        let ops = decision.ops;
         for (c, &new_setting) in cores.iter_mut().zip(&decision.settings) {
             let old = c.setting;
             if self.cfg.overheads {
@@ -409,7 +420,8 @@ impl<'a> Simulator<'a> {
             }
             c.setting = new_setting;
         }
-        // RM software runs on the invoking core.
+        // RM software runs on the invoking core: its time and energy are
+        // charged to that core; `ops` already counts the algorithm work.
         if self.cfg.overheads {
             let rm_insts = decision.ops as f64 * self.cfg.rm_instr_per_op;
             let c = &mut cores[j];
@@ -419,7 +431,6 @@ impl<'a> Simulator<'a> {
             if c.counting {
                 c.energy_j += rm_insts * c.epi(&self.sys, &self.em);
             }
-            ops += 0;
         }
         // The new interval of the finishing core starts at the new setting.
         cores[j].interval_setting = cores[j].setting;
@@ -494,8 +505,8 @@ mod tests {
     fn rm3_perfect_saves_energy_and_respects_qos() {
         let db = small_db();
         let idle = Simulator::new(&db, 2, quick(SimConfig::idle())).run(&["mcf", "povray"]);
-        let rm3 = Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3)))
-            .run(&["mcf", "povray"]);
+        let rm3 =
+            Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3))).run(&["mcf", "povray"]);
         let s = rm3.savings_vs(&idle);
         assert!(s > 0.0, "RM3 with a perfect model must save energy: {s}");
         assert_eq!(rm3.qos_violations, 0, "perfect model cannot violate QoS");
@@ -525,27 +536,39 @@ mod tests {
         // asserts Σw = A in its own tests); here we check the run finishes
         // and the RM was exercised.
         let db = small_db();
-        let r = Simulator::new(&db, 4, quick(SimConfig::evaluation(RmKind::Rm3, SimModel::Perfect)))
-            .run(&["mcf", "libquantum", "povray", "gcc"]);
+        let r =
+            Simulator::new(&db, 4, quick(SimConfig::evaluation(RmKind::Rm3, SimModel::Perfect)))
+                .run(&["mcf", "libquantum", "povray", "gcc"]);
         assert!(r.rm_invocations >= 4 * 7);
     }
 
     #[test]
     fn overheads_cost_energy_or_time() {
+        // On multi-phase workloads overhead charging perturbs interval
+        // alignment and the RM legitimately makes *different* decisions, so
+        // totals are not comparable. Single-phase applications pin the
+        // decision sequence (every invocation sees the same statistics),
+        // leaving only the overheads themselves — which strictly cost time
+        // and never save energy.
         let db = small_db();
-        let names = ["mcf", "libquantum"];
-        let without =
-            Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3))).run(&names);
+        let names = ["libquantum", "lbm"];
+        let without = Simulator::new(&db, 2, quick(SimConfig::perfect(RmKind::Rm3))).run(&names);
         let mut cfg = quick(SimConfig::perfect(RmKind::Rm3));
         cfg.overheads = true;
         let with = Simulator::new(&db, 2, cfg).run(&names);
+        assert!(with.rm_invocations > 0);
+        assert!(
+            with.sim_time_s > without.sim_time_s,
+            "overhead stalls must lengthen the run: {} vs {}",
+            with.sim_time_s,
+            without.sim_time_s
+        );
         assert!(
             with.total_energy_j >= without.total_energy_j * 0.999,
             "overheads must not reduce energy: {} vs {}",
             with.total_energy_j,
             without.total_energy_j
         );
-        assert!(with.sim_time_s >= without.sim_time_s * 0.999);
     }
 
     #[test]

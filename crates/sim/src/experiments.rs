@@ -1,6 +1,12 @@
 //! Experiment drivers for the paper's result figures (Figs. 2, 6, 9).
+//!
+//! Each figure is expressed as a [`Campaign`] of declarative
+//! [`ExperimentSpec`]s and executed in parallel: idle references are
+//! memoized per workload, and all (workload × controller × model) cells of
+//! a figure run concurrently.
 
-use crate::engine::{SimConfig, SimModel, SimResult, Simulator};
+use crate::campaign::{Campaign, CampaignRow, ExperimentSpec};
+use crate::engine::SimModel;
 use crate::workload::{generate_workloads, Scenario, Workload};
 use triad_phasedb::PhaseDb;
 use triad_rm::{ModelKind, RmKind};
@@ -26,32 +32,65 @@ pub fn default_model_for(rm: RmKind) -> SimModel {
     }
 }
 
-fn run_with(db: &PhaseDb, wl: &Workload, cfg: SimConfig) -> SimResult {
-    let sim = Simulator::new(db, wl.apps.len(), cfg);
-    let names: Vec<&str> = wl.apps.to_vec();
-    sim.run(&names)
+/// The specs of one RM1/RM2/RM3 comparison row (Fig. 2/6 cell).
+pub fn comparison_specs(
+    wl: &Workload,
+    perfect: bool,
+    overheads: bool,
+    seed: u64,
+) -> Vec<ExperimentSpec> {
+    RmKind::ALL
+        .iter()
+        .map(|&rm| {
+            let model = if perfect { SimModel::Perfect } else { default_model_for(rm) };
+            ExperimentSpec::for_workload(wl, Some(rm)).model(model).overheads(overheads).seed(seed)
+        })
+        .collect()
+}
+
+/// Fold three campaign rows (RM1/RM2/RM3, in order) into one comparison.
+pub fn fold_comparison(wl: &Workload, rows: &[CampaignRow]) -> RmComparison {
+    let mut savings = [0.0; 3];
+    let mut viol = [0.0; 3];
+    for (i, row) in rows.iter().enumerate() {
+        savings[i] = row.savings;
+        viol[i] = row.violation_rate;
+    }
+    RmComparison { workload: wl.clone(), savings, violation_rate: viol }
+}
+
+/// Fold campaign rows produced from per-workload [`comparison_specs`]
+/// back into comparisons — the one place that knows the rows arrive in
+/// `RmKind::ALL`-sized chunks per workload.
+pub fn fold_comparisons(workloads: &[Workload], rows: &[CampaignRow]) -> Vec<RmComparison> {
+    assert_eq!(rows.len(), workloads.len() * RmKind::ALL.len());
+    workloads
+        .iter()
+        .zip(rows.chunks(RmKind::ALL.len()))
+        .map(|(wl, chunk)| fold_comparison(wl, chunk))
+        .collect()
+}
+
+/// Compare RM1/RM2/RM3 against the idle RM on many workloads — one
+/// parallel campaign with per-workload memoized idle references.
+pub fn compare_rms_many(
+    db: &PhaseDb,
+    workloads: &[Workload],
+    perfect: bool,
+    overheads: bool,
+    seed: u64,
+) -> Vec<RmComparison> {
+    let specs: Vec<ExperimentSpec> =
+        workloads.iter().flat_map(|wl| comparison_specs(wl, perfect, overheads, seed)).collect();
+    let rows = Campaign::new(specs).run(db);
+    fold_comparisons(workloads, &rows)
 }
 
 /// Compare RM1/RM2/RM3 on one workload against the idle RM.
 pub fn compare_rms(db: &PhaseDb, wl: &Workload, perfect: bool, overheads: bool) -> RmComparison {
-    let mut idle_cfg = SimConfig::idle();
-    idle_cfg.overheads = overheads;
-    let idle = run_with(db, wl, idle_cfg);
-    let mut savings = [0.0; 3];
-    let mut viol = [0.0; 3];
-    for (i, rm) in RmKind::ALL.iter().enumerate() {
-        let model = if perfect { SimModel::Perfect } else { default_model_for(*rm) };
-        let mut cfg = SimConfig::evaluation(*rm, model);
-        cfg.overheads = overheads;
-        let r = run_with(db, wl, cfg);
-        savings[i] = r.savings_vs(&idle);
-        viol[i] = if r.intervals_checked > 0 {
-            r.qos_violations as f64 / r.intervals_checked as f64
-        } else {
-            0.0
-        };
-    }
-    RmComparison { workload: wl.clone(), savings, violation_rate: viol }
+    compare_rms_many(db, std::slice::from_ref(wl), perfect, overheads, 0)
+        .pop()
+        .expect("one workload in, one comparison out")
 }
 
 /// Fig. 2: two-core workloads, one per scenario, with perfect models and no
@@ -62,6 +101,11 @@ pub fn compare_rms(db: &PhaseDb, wl: &Workload, perfect: bool, overheads: bool) 
 /// S3 = libquantum + bwaves (CI-PS × CI-PS), S4 = povray + gamess
 /// (CI-PI × CI-PI).
 pub fn fig2(db: &PhaseDb) -> Vec<RmComparison> {
+    compare_rms_many(db, &fig2_workloads(), true, false, 0)
+}
+
+/// The four representative two-core workloads of Fig. 2.
+pub fn fig2_workloads() -> Vec<Workload> {
     let cases = [
         (Scenario::S1, ["libquantum", "mcf"]),
         (Scenario::S2, ["xalancbmk", "povray"]),
@@ -70,13 +114,10 @@ pub fn fig2(db: &PhaseDb) -> Vec<RmComparison> {
     ];
     cases
         .iter()
-        .map(|(s, apps)| {
-            let wl = Workload {
-                name: format!("2Core-{}", s.label()),
-                scenario: *s,
-                apps: apps.to_vec(),
-            };
-            compare_rms(db, &wl, true, false)
+        .map(|(s, apps)| Workload {
+            name: format!("2Core-{}", s.label()),
+            scenario: *s,
+            apps: apps.to_vec(),
         })
         .collect()
 }
@@ -84,10 +125,7 @@ pub fn fig2(db: &PhaseDb) -> Vec<RmComparison> {
 /// Fig. 6: six workloads per scenario at `n_cores` (4 or 8 in the paper),
 /// realistic models and overheads, RM1/RM2/RM3.
 pub fn fig6(db: &PhaseDb, n_cores: usize, seed: u64) -> Vec<RmComparison> {
-    generate_workloads(n_cores, 6, seed)
-        .iter()
-        .map(|wl| compare_rms(db, wl, false, true))
-        .collect()
+    compare_rms_many(db, &generate_workloads(n_cores, 6, seed), false, true, seed)
 }
 
 /// Scenario-weighted and plain averages over a set of comparisons
@@ -98,11 +136,8 @@ pub fn averages(rows: &[RmComparison]) -> (Vec<f64>, Vec<f64>) {
     for rm in 0..3 {
         let mut wsum = 0.0;
         for s in Scenario::ALL {
-            let in_s: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.workload.scenario == s)
-                .map(|r| r.savings[rm])
-                .collect();
+            let in_s: Vec<f64> =
+                rows.iter().filter(|r| r.workload.scenario == s).map(|r| r.savings[rm]).collect();
             if !in_s.is_empty() {
                 let mean = in_s.iter().sum::<f64>() / in_s.len() as f64;
                 weighted[rm] += s.weight() * mean;
@@ -125,9 +160,8 @@ pub fn scenario_means(rows: &[RmComparison]) -> Vec<(Scenario, [f64; 3])> {
             let in_s: Vec<&RmComparison> =
                 rows.iter().filter(|r| r.workload.scenario == s).collect();
             let mut m = [0.0; 3];
-            for rm in 0..3 {
-                m[rm] = in_s.iter().map(|r| r.savings[rm]).sum::<f64>()
-                    / in_s.len().max(1) as f64;
+            for (rm, slot) in m.iter_mut().enumerate() {
+                *slot = in_s.iter().map(|r| r.savings[rm]).sum::<f64>() / in_s.len().max(1) as f64;
             }
             (s, m)
         })
@@ -147,23 +181,44 @@ pub struct ModelComparison {
 /// the same workloads as Fig. 6 (overheads included; the perfect bound also
 /// predicts the next phase exactly).
 pub fn fig9(db: &PhaseDb, n_cores: usize, seed: u64) -> Vec<ModelComparison> {
-    generate_workloads(n_cores, 6, seed)
+    let workloads = generate_workloads(n_cores, 6, seed);
+    let rows = Campaign::new(fig9_specs(&workloads, seed)).run(db);
+    fold_model_comparisons(&workloads, &rows)
+}
+
+/// The model ladder Fig. 9 sweeps, in figure order.
+pub const FIG9_MODELS: [SimModel; 4] = [
+    SimModel::Online(ModelKind::Model1),
+    SimModel::Online(ModelKind::Model2),
+    SimModel::Online(ModelKind::Model3),
+    SimModel::Perfect,
+];
+
+/// The RM3-under-every-model specs for a set of workloads (Fig. 9 cells).
+pub fn fig9_specs(workloads: &[Workload], seed: u64) -> Vec<ExperimentSpec> {
+    workloads
         .iter()
-        .map(|wl| {
-            let idle = run_with(db, wl, SimConfig::idle());
+        .flat_map(|wl| {
+            FIG9_MODELS.iter().map(|&model| {
+                ExperimentSpec::for_workload(wl, Some(RmKind::Rm3)).model(model).seed(seed)
+            })
+        })
+        .collect()
+}
+
+/// Fold campaign rows produced from [`fig9_specs`] back into per-workload
+/// model comparisons.
+pub fn fold_model_comparisons(
+    workloads: &[Workload],
+    rows: &[CampaignRow],
+) -> Vec<ModelComparison> {
+    workloads
+        .iter()
+        .zip(rows.chunks(FIG9_MODELS.len()))
+        .map(|(wl, chunk)| {
             let mut savings = [0.0; 4];
-            for (i, model) in [
-                SimModel::Online(ModelKind::Model1),
-                SimModel::Online(ModelKind::Model2),
-                SimModel::Online(ModelKind::Model3),
-                SimModel::Perfect,
-            ]
-            .iter()
-            .enumerate()
-            {
-                let cfg = SimConfig::evaluation(RmKind::Rm3, *model);
-                let r = run_with(db, wl, cfg);
-                savings[i] = r.savings_vs(&idle);
+            for (i, row) in chunk.iter().enumerate() {
+                savings[i] = row.savings;
             }
             ModelComparison { workload: wl.clone(), savings }
         })
@@ -176,8 +231,17 @@ mod tests {
     use triad_phasedb::{build_apps, DbConfig};
 
     fn db() -> PhaseDb {
-        let names =
-            ["mcf", "sphinx3", "gcc", "hmmer", "xalancbmk", "libquantum", "bwaves", "povray", "gamess"];
+        let names = [
+            "mcf",
+            "sphinx3",
+            "gcc",
+            "hmmer",
+            "xalancbmk",
+            "libquantum",
+            "bwaves",
+            "povray",
+            "gamess",
+        ];
         let apps: Vec<_> =
             triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
         build_apps(&apps, &DbConfig::fast())

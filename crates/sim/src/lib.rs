@@ -19,14 +19,19 @@
 //! * [`qos_eval`] — the Fig. 7/8 evaluation: violation probability,
 //!   expected magnitude and distribution over all phases × current ×
 //!   target settings, weighted by SimPoint phase weights;
-//! * [`experiments`] — drivers that regenerate Fig. 2, Fig. 6 and Fig. 9.
+//! * [`campaign`] — declarative experiment specs executed in parallel with
+//!   shared, memoized idle baselines and canonical JSON reports;
+//! * [`experiments`] — campaign-based drivers that regenerate Fig. 2,
+//!   Fig. 6 and Fig. 9.
 
+pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod perfect;
 pub mod qos_eval;
 pub mod workload;
 
+pub use campaign::{Campaign, CampaignRow, ExperimentSpec};
 pub use engine::{SimConfig, SimModel, SimResult, Simulator};
 pub use perfect::PerfectModel;
 pub use qos_eval::{evaluate_models, QosEvaluation};

@@ -18,9 +18,9 @@
 //! half from `B`, with `random.choice` semantics (uniform with
 //! replacement).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use triad_trace::{by_category, suite, Category};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
 
 /// The four workload scenarios of Fig. 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,13 +65,9 @@ impl Scenario {
     pub fn generator_pairs(self) -> Vec<(Category, Category)> {
         use Category::*;
         match self {
-            Scenario::S1 => vec![
-                (CsPs, CsPs),
-                (CsPi, CsPs),
-                (CiPs, CsPs),
-                (CiPi, CsPs),
-                (CiPs, CsPi),
-            ],
+            Scenario::S1 => {
+                vec![(CsPs, CsPs), (CsPi, CsPs), (CiPs, CsPs), (CiPi, CsPs), (CiPs, CsPi)]
+            }
             Scenario::S2 => vec![(CsPi, CsPi), (CiPi, CsPi)],
             Scenario::S3 => vec![(CiPs, CiPs), (CiPi, CiPs)],
             Scenario::S4 => vec![(CiPi, CiPi)],
@@ -136,7 +132,7 @@ pub struct Workload {
 /// category pairs. Workload numbering follows the paper: W1.. for S1, then
 /// S2, S3, S4.
 pub fn generate_workloads(n_cores: usize, per_scenario: usize, seed: u64) -> Vec<Workload> {
-    assert!(n_cores >= 2 && n_cores % 2 == 0);
+    assert!(n_cores >= 2 && n_cores.is_multiple_of(2));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     let mut wnum = 1;
@@ -153,11 +149,7 @@ pub fn generate_workloads(n_cores: usize, per_scenario: usize, seed: u64) -> Vec
             for _ in 0..n_cores / 2 {
                 apps.push(pool_b[rng.random_range(0..pool_b.len())].name);
             }
-            out.push(Workload {
-                name: format!("{n_cores}Core-W{wnum}"),
-                scenario: s,
-                apps,
-            });
+            out.push(Workload { name: format!("{n_cores}Core-W{wnum}"), scenario: s, apps });
             wnum += 1;
         }
     }

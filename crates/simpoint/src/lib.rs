@@ -15,8 +15,8 @@
 //! interval feature vectors can be analyzed, which is also how the unit
 //! tests validate clustering quality on synthetic mixtures.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
 
 /// Result of clustering one application's interval BBVs.
 #[derive(Debug, Clone)]
@@ -197,11 +197,8 @@ mod tests {
     /// Three well-separated blobs in 4-D.
     fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let centers = [
-            vec![0.0, 0.0, 0.0, 0.0],
-            vec![5.0, 5.0, 0.0, 0.0],
-            vec![0.0, 5.0, 5.0, 5.0],
-        ];
+        let centers =
+            [vec![0.0, 0.0, 0.0, 0.0], vec![5.0, 5.0, 0.0, 0.0], vec![0.0, 5.0, 5.0, 5.0]];
         let mut pts = Vec::new();
         let mut truth = Vec::new();
         for (ci, c) in centers.iter().enumerate() {

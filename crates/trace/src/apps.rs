@@ -367,12 +367,8 @@ mod tests {
             let main = &app.phases[0];
             // Regions large enough to miss at the baseline allocation
             // (2 MB = 32768 blocks) are the ones whose overlap matters.
-            let llc_weight: f64 = main
-                .regions
-                .iter()
-                .filter(|r| r.blocks > 32_768)
-                .map(|r| r.weight)
-                .sum();
+            let llc_weight: f64 =
+                main.regions.iter().filter(|r| r.blocks > 32_768).map(|r| r.weight).sum();
             if app.category.parallelism_sensitive() {
                 assert!(main.chase_frac <= 0.2, "{} chase {}", app.name, main.chase_frac);
                 assert!(main.addr_dep <= 0.25, "{} addr_dep {}", app.name, main.addr_dep);

@@ -11,8 +11,8 @@
 
 use crate::apps::AppSpec;
 use crate::phase::PhaseSpec;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
 
 /// Dimensionality of the (projected) basic-block vectors. SimPoint projects
 /// raw BBVs down to ~15 dimensions; we use 16.
@@ -97,9 +97,8 @@ mod tests {
         let sigs: Vec<Vec<f64>> = app.phases.iter().map(signature).collect();
         for (i, bbv) in bbvs.iter().enumerate() {
             // The noisy BBV must be closest to its own phase signature.
-            let d = |s: &Vec<f64>| -> f64 {
-                s.iter().zip(bbv).map(|(x, y)| (x - y) * (x - y)).sum()
-            };
+            let d =
+                |s: &Vec<f64>| -> f64 { s.iter().zip(bbv).map(|(x, y)| (x - y) * (x - y)).sum() };
             let own = d(&sigs[app.sequence[i]]);
             for (p, s) in sigs.iter().enumerate() {
                 if p != app.sequence[i] {

@@ -21,12 +21,11 @@
 //! Generation is fully deterministic given `(spec, len, seed)`.
 
 use crate::inst::{Inst, InstKind, Trace};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
 
 /// Index of a phase within an application.
 pub type PhaseId = usize;
-
 
 /// How a region's blocks are visited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,9 +184,8 @@ impl PhaseSpec {
             let (kind, addr, chase, region) = if is_load || is_store {
                 let ri = self.pick_region(&mut rng, &cum, &mut cur_region, p_stay);
                 let a = self.addr_in(&mut rng, ri, &mut cursors, &bases);
-                let chase = is_load
-                    && last_load_in[ri].is_some()
-                    && rng.random_bool(self.chase_frac);
+                let chase =
+                    is_load && last_load_in[ri].is_some() && rng.random_bool(self.chase_frac);
                 (if is_load { InstKind::Load } else { InstKind::Store }, a, chase, Some(ri))
             } else if u < self.load_frac + self.store_frac + self.branch_frac {
                 (InstKind::Branch, 0, false, None)
@@ -217,8 +215,7 @@ impl PhaseSpec {
             } else {
                 0
             };
-            let mispredict =
-                kind == InstKind::Branch && rng.random_bool(self.mispredict_rate);
+            let mispredict = kind == InstKind::Branch && rng.random_bool(self.mispredict_rate);
 
             if kind == InstKind::Load {
                 last_load_in[region.unwrap()] = Some(i);
@@ -267,13 +264,7 @@ impl PhaseSpec {
     }
 
     /// Produce the next address within region `ri`.
-    fn addr_in(
-        &self,
-        rng: &mut StdRng,
-        ri: usize,
-        cursors: &mut [u64],
-        bases: &[u64],
-    ) -> u64 {
+    fn addr_in(&self, rng: &mut StdRng, ri: usize, cursors: &mut [u64], bases: &[u64]) -> u64 {
         let r = &self.regions[ri];
         let block = match r.pattern {
             AccessPattern::Sweep => {
@@ -417,7 +408,11 @@ mod tests {
             chase_frac: 0.0,
             burst: 1.0,
             addr_dep: 0.5,
-            regions: vec![MemRegion { blocks: 1 << 20, weight: 1.0, pattern: AccessPattern::Sweep }],
+            regions: vec![MemRegion {
+                blocks: 1 << 20,
+                weight: 1.0,
+                pattern: AccessPattern::Sweep,
+            }],
         };
         let t = s.generate(1000, 2);
         for (k, inst) in t.insts.iter().enumerate() {

@@ -102,7 +102,11 @@ enum Class {
 ///
 /// `trace` must be the *detailed* portion matching `ct` (i.e. generated with
 /// the same warmup split passed to `classify_warm`).
-pub fn simulate(trace: &[triad_trace::Inst], ct: &ClassifiedTrace, cfg: &TimingConfig) -> TimingResult {
+pub fn simulate(
+    trace: &[triad_trace::Inst],
+    ct: &ClassifiedTrace,
+    cfg: &TimingConfig,
+) -> TimingResult {
     simulate_inner(trace, ct, cfg, None)
 }
 
@@ -413,7 +417,11 @@ mod tests {
             chase_frac: 0.9,
             burst: 1.0,
             addr_dep: 0.5,
-            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+            regions: vec![MemRegion {
+                blocks: 1 << 22,
+                weight: 1.0,
+                pattern: AccessPattern::Uniform,
+            }],
         };
         let t = spec.generate(30_000, 3);
         let lo = run(&t, CoreSize::M, 1.0e9, 2);
@@ -437,7 +445,11 @@ mod tests {
             chase_frac: chase,
             burst: 1.0,
             addr_dep: 0.5,
-            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+            regions: vec![MemRegion {
+                blocks: 1 << 22,
+                weight: 1.0,
+                pattern: AccessPattern::Uniform,
+            }],
         };
         let chasing = mk(0.95, 1).generate(30_000, 4);
         let indep = mk(0.0, 1).generate(30_000, 4);
@@ -569,7 +581,11 @@ mod tests {
             chase_frac: 0.0,
             burst: 1.0,
             addr_dep: 0.5,
-            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+            regions: vec![MemRegion {
+                blocks: 1 << 22,
+                weight: 1.0,
+                pattern: AccessPattern::Uniform,
+            }],
         };
         let t = spec.generate(20_000, 9);
         let r = run(&t, CoreSize::S, 2.0e9, 8);
@@ -590,7 +606,11 @@ mod tests {
             chase_frac: 0.0,
             burst: 1.0,
             addr_dep: 0.5,
-            regions: vec![MemRegion { blocks: 1 << 22, weight: 1.0, pattern: AccessPattern::Uniform }],
+            regions: vec![MemRegion {
+                blocks: 1 << 22,
+                weight: 1.0,
+                pattern: AccessPattern::Uniform,
+            }],
         };
         let t = spec.generate(10_000, 10);
         let ct = classify(&t, &geom());

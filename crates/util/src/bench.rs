@@ -1,0 +1,92 @@
+//! Wall-clock measurement for the `harness = false` benches.
+//!
+//! Replaces the criterion dependency with the 5 % of it the workspace
+//! needs: warm up, run a fixed wall-clock budget, report mean time per
+//! iteration (and derived throughput).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean seconds per iteration.
+    pub secs_per_iter: f64,
+    /// Iterations executed in the measurement window.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        1.0 / self.secs_per_iter
+    }
+
+    /// Human-readable time per iteration.
+    pub fn display_time(&self) -> String {
+        let s = self.secs_per_iter;
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            format!("{:.3} us", s * 1e6)
+        } else {
+            format!("{:.1} ns", s * 1e9)
+        }
+    }
+}
+
+/// Measure `f` for roughly `budget` of wall-clock time after a short
+/// warm-up, and print `label: <time>/iter` plus optional element
+/// throughput.
+pub fn bench(
+    label: &str,
+    elements_per_iter: Option<u64>,
+    budget: Duration,
+    mut f: impl FnMut(),
+) -> Measurement {
+    // Warm-up: run a few iterations or 10% of the budget, whichever first.
+    let warmup_end = Instant::now() + budget / 10;
+    for _ in 0..3 {
+        f();
+        if Instant::now() >= warmup_end {
+            break;
+        }
+    }
+
+    let start = Instant::now();
+    let end = start + budget;
+    let mut iters = 0u64;
+    while Instant::now() < end || iters == 0 {
+        f();
+        black_box(());
+        iters += 1;
+    }
+    let secs_per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let m = Measurement { secs_per_iter, iters };
+    match elements_per_iter {
+        Some(n) => println!(
+            "{label:<40} {:>12}/iter  {:>14.0} elem/s",
+            m.display_time(),
+            n as f64 * m.per_sec()
+        ),
+        None => println!("{label:<40} {:>12}/iter", m.display_time()),
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let m = bench("noop", None, Duration::from_millis(20), || {
+            black_box(1 + 1);
+        });
+        assert!(m.iters > 0);
+        assert!(m.secs_per_iter > 0.0);
+        assert!(m.secs_per_iter < 0.1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # triad-util — self-contained infrastructure shared by every crate
+//!
+//! The workspace builds in fully offline environments, so the usual
+//! ecosystem crates are replaced by small, deterministic, std-only
+//! implementations with compatible call-site APIs:
+//!
+//! * [`rand`] — a seedable xoshiro256++ PRNG behind the familiar
+//!   `StdRng::seed_from_u64` / `random` / `random_bool` / `random_range`
+//!   surface. Determinism across platforms and thread counts is a hard
+//!   requirement for the phase-trace generators and the campaign layer.
+//! * [`par`] — an order-preserving parallel map over scoped threads, the
+//!   substrate for both the phase-database build and campaign execution.
+//! * [`json`] — a minimal JSON document model with a canonical writer, so
+//!   campaign results are byte-identical across runs and thread counts.
+//! * [`bench`] — a tiny wall-clock measurement harness for the
+//!   `harness = false` benches.
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod rand;

@@ -1,0 +1,112 @@
+//! Order-preserving parallel map over scoped threads.
+//!
+//! The phase-database build and the campaign executor both need the same
+//! shape of parallelism: N independent, CPU-bound tasks whose results must
+//! come back *in input order* so downstream output is deterministic
+//! regardless of scheduling. Worker threads pull task indices from a shared
+//! atomic counter (simple work stealing), write results into their own
+//! slots, and the caller reassembles the ordered vector.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a thread-count request: `0` means available parallelism,
+/// capped by the task count.
+pub fn resolve_threads(requested: usize, n_tasks: usize) -> usize {
+    let hw = if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    hw.clamp(1, n_tasks.max(1))
+}
+
+/// Apply `f` to every item in parallel on `threads` workers (0 = available
+/// parallelism) and return results in input order.
+///
+/// Panics in `f` propagate to the caller once all workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`par_map`] variant that also hands `f` the item's index.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed every claimed task"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7, 0] {
+            let out = par_map(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let count = AtomicU64::new(0);
+        let items: Vec<u32> = (0..57).collect();
+        let out = par_map(&items, 4, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(resolve_threads(3, 100), 3);
+        assert_eq!(resolve_threads(8, 2), 2);
+        assert!(resolve_threads(0, 100) >= 1);
+        assert_eq!(resolve_threads(5, 0), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic pseudo-random numbers (std-only `rand` stand-in).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast, well
+//! distributed, and identical on every platform, which is what the
+//! synthetic trace generators and workload samplers need. The API mirrors
+//! the subset of the `rand` crate the workspace uses so call sites read
+//! idiomatically: `StdRng::seed_from_u64(s)`, `rng.random::<f64>()`,
+//! `rng.random_bool(p)`, `rng.random_range(lo..hi)`.
+
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction from a 64-bit seed (the only seeding mode the workspace
+/// uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full 256-bit state, as
+        // recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types [`RngExt::random`] can produce.
+pub trait RandomValue {
+    fn from_rng(rng: &mut StdRng) -> Self;
+}
+
+impl RandomValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandomValue for u64 {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for bool {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types [`RngExt::random_range`] can sample.
+pub trait UniformInt: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range forms accepted by [`RngExt::random_range`], normalized to
+/// inclusive `[lo, hi]` bounds.
+pub trait UniformRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt> UniformRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn bounds(self) -> (T, T) {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "empty range");
+        (T::from_u64(lo), T::from_u64(hi - 1))
+    }
+}
+
+impl<T: UniformInt> UniformRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo.to_u64() <= hi.to_u64(), "empty range");
+        (lo, hi)
+    }
+}
+
+/// Sampling methods, mirroring the `rand` crate's method names.
+pub trait RngExt {
+    /// A uniformly random value of `T`.
+    fn random<T: RandomValue>(&mut self) -> T;
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+
+    /// Uniform integer in the given range.
+    fn random_range<T: UniformInt, R: UniformRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: RandomValue>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.random::<f64>() < p
+    }
+
+    #[inline]
+    fn random_range<T: UniformInt, R: UniformRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let (lo, hi) = (lo.to_u64(), hi.to_u64());
+        let span = hi - lo + 1; // span == 0 means the full u64 domain
+        if span == 0 {
+            return T::from_u64(self.next_u64());
+        }
+        // Debiased multiply-shift rejection (Lemire): exact uniformity and
+        // fast for the small spans the workspace samples.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span {
+                return T::from_u64(lo + (m >> 64) as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            let x = rng.random_range(3u32..=9);
+            assert!((3..=9).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 9;
+            let y = rng.random_range(0usize..5);
+            assert!(y < 5);
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

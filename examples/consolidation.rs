@@ -19,13 +19,9 @@ fn main() {
     // streaming scientific job (libquantum) and two compute-bound batch
     // jobs (povray, gamess).
     let names = ["mcf", "libquantum", "povray", "gamess"];
-    let cats: Vec<_> =
-        names.iter().map(|n| by_name(n).unwrap().category).collect();
+    let cats: Vec<_> = names.iter().map(|n| by_name(n).unwrap().category).collect();
     println!("mix: {:?} ({:?})", names, cats);
-    println!(
-        "Fig. 1 scenario of the (mcf, povray) pair: {}",
-        scenario_of_pair(cats[0], cats[2])
-    );
+    println!("Fig. 1 scenario of the (mcf, povray) pair: {}", scenario_of_pair(cats[0], cats[2]));
 
     let idle = Simulator::new(&db, 4, SimConfig::idle()).run(&names);
     println!("\nidle RM energy: {:.2} J", idle.total_energy_j);

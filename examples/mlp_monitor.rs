@@ -53,12 +53,10 @@ fn main() {
             &TimingConfig::table1(c, 2.0e9, 8),
             &mut mon,
         );
-        println!(
-            "  {c}: monitor estimate {:.2}, ground truth {:.2}",
-            mon.mlp(c, 8),
-            r.mlp
-        );
+        println!("  {c}: monitor estimate {:.2}, ground truth {:.2}", mon.mlp(c, 8), r.mlp);
     }
-    println!("\nstorage cost: {} bits per core (paper: < 300 bytes)",
-        MlpMonitor::table1().storage_bits());
+    println!(
+        "\nstorage cost: {} bits per core (paper: < 300 bytes)",
+        MlpMonitor::table1().storage_bits()
+    );
 }

@@ -4,18 +4,16 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use triad::phasedb::{build_apps, DbConfig};
+use triad::rm::ModelKind;
 use triad::rm::RmKind;
 use triad::sim::engine::{SimConfig, SimModel, Simulator};
-use triad::rm::ModelKind;
 
 fn main() {
     // A cache-hungry application (mcf) next to a compute-bound one
     // (povray): the canonical Scenario-1 trade.
     let names = ["mcf", "povray"];
-    let apps: Vec<_> = triad::trace::suite()
-        .into_iter()
-        .filter(|a| names.contains(&a.name))
-        .collect();
+    let apps: Vec<_> =
+        triad::trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
     println!("running detailed simulations for {:?}...", names);
     let db = build_apps(&apps, &DbConfig::default());
 

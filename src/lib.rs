@@ -20,16 +20,17 @@
 //! * [`energy`] — McPAT-style power models;
 //! * [`phasedb`] — the detailed-simulation database over all
 //!   configurations;
-//! * [`rm`] — the RM itself: Models 1/2/3, QoS, local + global optimizers,
-//!   controllers RM1/RM2/RM3;
-//! * [`sim`] — the interval-event RM simulator and every experiment of §V.
+//! * [`rm`] — the RM itself (package `triad-rm`): Models 1/2/3, QoS,
+//!   local + global optimizers, controllers RM1/RM2/RM3;
+//! * [`sim`] — the interval-event RM simulator, the parallel
+//!   [`sim::campaign`] orchestration layer, and every experiment of §V.
 //!
 //! ## Quickstart
 //!
 //! ```no_run
 //! use triad::phasedb::{build_apps, DbConfig};
 //! use triad::rm::RmKind;
-//! use triad::sim::engine::{SimConfig, Simulator};
+//! use triad::sim::{Campaign, ExperimentSpec};
 //!
 //! // Detailed simulation of two applications over every configuration.
 //! let apps: Vec<_> = triad::trace::suite()
@@ -38,11 +39,17 @@
 //!     .collect();
 //! let db = build_apps(&apps, &DbConfig::default());
 //!
-//! // Replay them on a 2-core system under the proposed controller (RM3).
-//! let idle = Simulator::new(&db, 2, SimConfig::idle()).run(&["mcf", "povray"]);
-//! let rm3 = Simulator::new(&db, 2, SimConfig::perfect(RmKind::Rm3)).run(&["mcf", "povray"]);
-//! println!("energy savings: {:.1}%", 100.0 * rm3.savings_vs(&idle));
+//! // Replay them on a 2-core system under each controller; the campaign
+//! // runs the specs in parallel against one shared idle baseline.
+//! let specs = [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3]
+//!     .map(|rm| ExperimentSpec::new(rm.label(), &["mcf", "povray"]).rm(Some(rm)).perfect());
+//! for row in Campaign::new(specs.to_vec()).run(&db) {
+//!     println!("{}: energy savings {:.1}%", row.spec.name, 100.0 * row.savings);
+//! }
 //! ```
+//!
+//! The `triad-bench` binary drives the same machinery from the command
+//! line (`triad-bench --experiment fig6 --cores 8 --json out.json`).
 
 pub use triad_arch as arch;
 pub use triad_cache as cache;

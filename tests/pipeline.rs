@@ -6,10 +6,8 @@ use triad::rm::{ModelKind, RmKind};
 use triad::sim::engine::{SimConfig, SimModel, Simulator};
 
 fn db(names: &[&str]) -> triad::phasedb::PhaseDb {
-    let apps: Vec<_> = triad::trace::suite()
-        .into_iter()
-        .filter(|a| names.contains(&a.name))
-        .collect();
+    let apps: Vec<_> =
+        triad::trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
     assert_eq!(apps.len(), names.len(), "unknown application in {names:?}");
     build_apps(&apps, &DbConfig::fast())
 }
