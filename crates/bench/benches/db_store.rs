@@ -1,0 +1,48 @@
+//! Cold-build versus warm-load phase-database acquisition.
+//!
+//! The store's reason to exist is turning a minutes-scale detailed
+//! simulation into a milliseconds-scale load: this bench tracks that ratio
+//! in the perf trajectory. Run with
+//! `cargo bench -p triad-bench --bench db_store`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use triad_phasedb::{DbConfig, DbStore};
+use triad_trace::AppSpec;
+use triad_util::bench::bench;
+
+fn subset() -> Vec<AppSpec> {
+    let names = ["mcf", "libquantum", "povray"];
+    triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("triad-db-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DbStore::new(&dir);
+    let apps = subset();
+    let cfg = DbConfig::fast();
+
+    // Cold: force-rebuild resolves pay the full detailed simulation (plus
+    // the atomic persist). One measured pass is plenty — each iteration is
+    // seconds.
+    let cold_store = store.clone().force_rebuild(true);
+    let t0 = Instant::now();
+    black_box(cold_store.resolve(&apps, &cfg));
+    let cold_s = t0.elapsed().as_secs_f64();
+    println!("db_store/cold_build_3apps                {cold_s:>12.3} s/iter");
+
+    // Warm: every resolve parses and validates the persisted artifact.
+    let m = bench("db_store/warm_load_3apps", None, Duration::from_secs(2), || {
+        black_box(store.resolve(&apps, &cfg));
+    });
+
+    let speedup = cold_s / m.secs_per_iter;
+    println!("db_store/warm_vs_cold_speedup            {speedup:>12.1}x");
+    assert!(
+        speedup >= 10.0,
+        "warm load must be >=10x faster than a cold build (got {speedup:.1}x)"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

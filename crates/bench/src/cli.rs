@@ -10,9 +10,9 @@
 //! [`ExperimentSpec`] straight from the flags. The per-figure binaries are
 //! kept as wrappers that pre-select `--experiment` and forward the rest.
 
-use crate::build_db;
 use crate::reports::{self, RunOptions};
-use triad_phasedb::DbConfig;
+use crate::resolve_db;
+use triad_phasedb::{DbConfig, DbStore};
 use triad_sim::campaign::{parse_model, parse_rm, ExperimentSpec};
 
 const USAGE: &str = "\
@@ -33,6 +33,9 @@ OPTIONS:
         --compare-serial      also run the campaign serially and report the speedup
         --intervals <N>       override the simulated horizon (RM intervals per app)
         --fast                fast database (noisier stats) and a short horizon
+        --db-cache <DIR>      phase-database cache directory
+                              [default: $TRIAD_DB_CACHE or <workspace>/target/phasedb]
+        --db-rebuild          ignore any cached database and rebuild (refreshes the cache)
         --apps <A,B,..>       custom: one application per core
         --rm <KIND>           custom: idle | rm1 | rm2 | rm3 | rm3full [default: rm3]
         --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
@@ -52,6 +55,8 @@ pub struct Args {
     pub compare_serial: bool,
     pub intervals: Option<usize>,
     pub fast: bool,
+    pub db_cache: Option<String>,
+    pub db_rebuild: bool,
     pub apps: Vec<String>,
     pub rm: String,
     pub model: String,
@@ -70,6 +75,8 @@ impl Default for Args {
             compare_serial: false,
             intervals: None,
             fast: false,
+            db_cache: None,
+            db_rebuild: false,
             apps: Vec::new(),
             rm: "rm3".into(),
             model: "model3".into(),
@@ -107,6 +114,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some(value(&mut it, a)?.parse().map_err(|e| format!("--intervals: {e}"))?)
             }
             "--fast" => args.fast = true,
+            "--db-cache" => args.db_cache = Some(value(&mut it, a)?),
+            "--db-rebuild" => args.db_rebuild = true,
             "--apps" => {
                 args.apps = value(&mut it, a)?.split(',').map(|s| s.trim().to_string()).collect()
             }
@@ -165,8 +174,13 @@ pub fn run(args: &Args) -> Result<(), String> {
         None
     };
     let db_cfg = if args.fast { DbConfig::fast() } else { DbConfig::default() };
+    let store = match &args.db_cache {
+        Some(dir) => DbStore::new(dir),
+        None => DbStore::default_cache(),
+    }
+    .force_rebuild(args.db_rebuild);
     let needs_db = !matches!(args.experiment.as_str(), "table1" | "fig1");
-    let db = if needs_db { Some(build_db(&db_cfg)) } else { None };
+    let db = if needs_db { Some(resolve_db(&db_cfg, &store)) } else { None };
     let db = db.as_ref();
 
     let both = [4usize, 8];

@@ -34,22 +34,34 @@ pub mod cli;
 pub mod reports;
 
 use std::sync::OnceLock;
-use triad_phasedb::{build_suite, DbConfig, PhaseDb};
+use triad_phasedb::{DbConfig, DbStore, PhaseDb, StoreOutcome};
 
-/// Build (once per process) the full-suite phase database.
+/// Resolve (once per process) the full-suite phase database through the
+/// default content-addressed store — a millisecond-scale load on a warm
+/// cache, a build + persist on a cold one.
 pub fn db() -> &'static PhaseDb {
     static DB: OnceLock<PhaseDb> = OnceLock::new();
-    DB.get_or_init(|| build_db(&DbConfig::default()))
+    DB.get_or_init(|| resolve_db(&DbConfig::default(), &DbStore::default_cache()))
 }
 
-/// Build a full-suite database with an explicit configuration, reporting
-/// progress on stderr.
-pub fn build_db(cfg: &DbConfig) -> PhaseDb {
-    eprintln!("building the detailed-simulation database (all 27 apps)...");
+/// Resolve a full-suite database through `store` with an explicit
+/// configuration, reporting provenance and timing on stderr.
+pub fn resolve_db(cfg: &DbConfig, store: &DbStore) -> PhaseDb {
+    eprintln!("resolving the detailed-simulation database (all 27 apps)...");
     let t = std::time::Instant::now();
-    let db = build_suite(cfg);
-    eprintln!("database ready in {:.1}s", t.elapsed().as_secs_f64());
-    db
+    let resolved = store.resolve_suite(cfg);
+    let how = match resolved.outcome {
+        StoreOutcome::Hit => "loaded from cache",
+        StoreOutcome::Miss => "built and cached",
+        StoreOutcome::CorruptRebuilt => "rebuilt (corrupt cache entry replaced)",
+        StoreOutcome::ForcedRebuild => "rebuilt (--db-rebuild)",
+    };
+    eprintln!(
+        "database ready in {:.3}s ({how}: {})",
+        t.elapsed().as_secs_f64(),
+        resolved.path.display()
+    );
+    resolved.db
 }
 
 /// Format a savings fraction as a percentage string.

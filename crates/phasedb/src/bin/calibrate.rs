@@ -2,12 +2,25 @@
 //! the whole application suite and compare against Table II. This is the
 //! tool used to calibrate (and re-verify) the synthetic application
 //! library; `tests/table2_census.rs` enforces the same contract in CI.
-use triad_phasedb::{build_suite, characterize_app, DbConfig};
+//!
+//! The database resolves through the shared content-addressed store
+//! (`--rebuild` forces a fresh build), so re-running the census after a
+//! calibration tweak only pays for the build when the suite actually
+//! changed — a changed suite re-keys the artifact automatically.
+use triad_phasedb::{characterize_app, DbConfig, DbStore};
 
 fn main() {
+    let force = std::env::args().any(|a| a == "--rebuild");
     let t0 = std::time::Instant::now();
-    let db = build_suite(&DbConfig::default());
-    eprintln!("db built in {:.1}s", t0.elapsed().as_secs_f64());
+    let resolved =
+        DbStore::default_cache().force_rebuild(force).resolve_suite(&DbConfig::default());
+    eprintln!(
+        "db {} in {:.3}s ({})",
+        if resolved.outcome.is_hit() { "loaded" } else { "built" },
+        t0.elapsed().as_secs_f64(),
+        resolved.path.display()
+    );
+    let db = resolved.db;
     let mut ok = 0;
     println!(
         "{:<11} {:>7} {:>7} {:>7}  {:>5} {:>5} {:>5}  {:<6} {:<6} match",

@@ -25,10 +25,24 @@
 //! ground-truth time and energy per instruction, and the monitor statistics
 //! as observed at that setting.
 
+//! Building is expensive (minutes of detailed simulation), so the database
+//! is persisted behind a content-addressed [`DbStore`]: artifacts are keyed
+//! by [`db_fingerprint`] (a canonical digest of the [`DbConfig`], the suite
+//! definition and the shape constants), loaded on hit, and built + written
+//! atomically on miss. Every consumer — campaigns, the `triad-bench` CLI,
+//! the calibration tool — resolves its database through the store instead
+//! of calling [`build_suite`] directly.
+
 pub mod build;
 pub mod characterize;
+pub mod fingerprint;
 pub mod record;
+pub mod serde;
+pub mod store;
 
 pub use build::{build_apps, build_suite, DbConfig};
 pub use characterize::{characterize_app, AppCharacterization};
+pub use fingerprint::{db_fingerprint, FINGERPRINT_DOMAIN};
 pub use record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, W_MAX, W_MIN};
+pub use serde::{db_from_json, db_to_json, DB_SCHEMA};
+pub use store::{DbStore, Resolved, StoreOutcome};

@@ -19,12 +19,19 @@
 //! byte-identical output at any thread count. The experiment drivers in
 //! [`crate::experiments`] and the `triad-bench` CLI are thin layers over
 //! this module.
+//!
+//! Databases are resolved through the content-addressed
+//! [`triad_phasedb::DbStore`] ([`Campaign::run_cached`]): a campaign knows
+//! exactly which applications its specs reference, so the store can load —
+//! or build and persist — precisely that artifact, and warm runs skip the
+//! minutes-scale detailed simulation entirely.
 
 use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
 use crate::workload::{Scenario, Workload};
 use std::collections::HashMap;
-use triad_phasedb::PhaseDb;
+use triad_phasedb::{DbConfig, DbStore, PhaseDb};
 use triad_rm::{ModelKind, RmKind};
+use triad_trace::AppSpec;
 use triad_util::json::Json;
 use triad_util::par;
 
@@ -301,6 +308,26 @@ impl Campaign {
         })
     }
 
+    /// The suite applications this campaign's specs reference, in suite
+    /// order — the exact database the campaign needs.
+    pub fn required_apps(&self) -> Vec<AppSpec> {
+        triad_trace::suite()
+            .into_iter()
+            .filter(|a| self.specs.iter().any(|s| s.apps.iter().any(|n| n == a.name)))
+            .collect()
+    }
+
+    /// Resolve a database covering [`Campaign::required_apps`] through the
+    /// content-addressed `store` (millisecond load on a warm cache, build +
+    /// persist on a cold one) and execute the campaign against it.
+    ///
+    /// Rows are bit-identical to [`Campaign::run`] on a directly built
+    /// database: the store round-trip is lossless by construction.
+    pub fn run_cached(&self, store: &DbStore, cfg: &DbConfig) -> Vec<CampaignRow> {
+        let resolved = store.resolve(&self.required_apps(), cfg);
+        self.run(&resolved.db)
+    }
+
     /// Canonical JSON document for a finished campaign.
     pub fn report(rows: &[CampaignRow]) -> Json {
         Json::obj()
@@ -312,13 +339,16 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triad_phasedb::{build_apps, DbConfig};
+    use triad_phasedb::build_apps;
 
+    /// The test database resolves through the shared workspace store: the
+    /// first test run of the day builds and persists it, every later run —
+    /// and every other test binary needing the same subset — loads it.
     fn small_db() -> PhaseDb {
         let names = ["mcf", "libquantum", "povray", "gcc"];
         let apps: Vec<_> =
             triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
-        build_apps(&apps, &DbConfig::fast())
+        DbStore::default_cache().resolve(&apps, &DbConfig::fast()).db
     }
 
     fn quick(spec: ExperimentSpec) -> ExperimentSpec {
@@ -436,6 +466,41 @@ mod tests {
                 "parallel {parallel_s}s must beat serial {serial_s}s on a {cores}-core host"
             );
         }
+    }
+
+    #[test]
+    fn required_apps_are_the_union_of_spec_apps_in_suite_order() {
+        let campaign = Campaign::new(vec![
+            ExperimentSpec::new("a", &["povray", "mcf"]),
+            ExperimentSpec::new("b", &["mcf", "libquantum"]),
+        ]);
+        let names: Vec<&str> = campaign.required_apps().iter().map(|a| a.name).collect();
+        let suite_order: Vec<&str> = triad_trace::suite()
+            .iter()
+            .map(|a| a.name)
+            .filter(|n| ["mcf", "libquantum", "povray"].contains(n))
+            .collect();
+        assert_eq!(names, suite_order);
+    }
+
+    #[test]
+    fn run_cached_is_byte_identical_to_run_on_a_fresh_build() {
+        let dir =
+            std::env::temp_dir().join(format!("triad-campaign-cached-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DbStore::new(&dir);
+        let cfg = DbConfig::fast();
+        let campaign =
+            Campaign::new(vec![quick(ExperimentSpec::new("cached", &["mcf", "povray"]).perfect())]);
+
+        let direct = campaign.run(&build_apps(&campaign.required_apps(), &cfg));
+        // Cold (build + persist), then warm (load): all three byte-equal.
+        let cold = campaign.run_cached(&store, &cfg);
+        let warm = campaign.run_cached(&store, &cfg);
+        let report = |rows: &[CampaignRow]| Campaign::report(rows).to_string_pretty();
+        assert_eq!(report(&direct), report(&cold));
+        assert_eq!(report(&direct), report(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

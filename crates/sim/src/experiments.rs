@@ -228,8 +228,10 @@ pub fn fold_model_comparisons(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triad_phasedb::{build_apps, DbConfig};
+    use triad_phasedb::{DbConfig, DbStore};
 
+    /// Resolved through the shared workspace store (see
+    /// `campaign::tests::small_db`): warm test runs skip the build.
     fn db() -> PhaseDb {
         let names = [
             "mcf",
@@ -244,7 +246,7 @@ mod tests {
         ];
         let apps: Vec<_> =
             triad_trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
-        build_apps(&apps, &DbConfig::fast())
+        DbStore::default_cache().resolve(&apps, &DbConfig::fast()).db
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! SHA-256 and a canonical fingerprint builder.
+//!
+//! The phase-database store keys artifacts by a content digest of their
+//! build inputs. Hash stability across processes, platforms and releases is
+//! therefore load-bearing: [`Fingerprint`] feeds every value through a
+//! fixed, type-tagged, little-endian byte encoding (never `Debug` strings,
+//! whose format is unstable) into a std-only SHA-256.
+
+/// Streaming SHA-256 (FIPS 180-4).
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            data = rest;
+        }
+        // Either the buffer is empty here, or `data` is (the partial-fill
+        // branch above consumed it) — so appending is always in bounds.
+        self.buf[self.buf_len..self.buf_len + data.len()].copy_from_slice(data);
+        self.buf_len += data.len();
+    }
+
+    /// Finish and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length block bypasses `update` so `total_len` stays untouched.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// Lowercase hex encoding.
+pub fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+/// A canonical, injective fingerprint builder over typed values.
+///
+/// Every feed writes a one-byte type tag followed by a fixed-width
+/// little-endian payload (strings and byte slices are length-prefixed), so
+/// two different value sequences can never produce the same byte stream —
+/// `("ab", "c")` and `("a", "bc")` hash differently, as do `1u64` and
+/// `1.0f64`. Floats are hashed by IEEE-754 bit pattern, so `-0.0` and
+/// `0.0` are distinct inputs.
+pub struct Fingerprint {
+    h: Sha256,
+}
+
+impl Fingerprint {
+    /// Start a fingerprint under a domain-separation label (e.g. a schema
+    /// version string): bumping the label invalidates every old digest.
+    pub fn new(domain: &str) -> Self {
+        let mut f = Fingerprint { h: Sha256::new() };
+        f.str(domain);
+        f
+    }
+
+    fn tagged(&mut self, tag: u8, payload: &[u8]) {
+        self.h.update(&[tag]);
+        self.h.update(payload);
+    }
+
+    /// Feed an unsigned 64-bit value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.tagged(b'u', &v.to_le_bytes());
+        self
+    }
+
+    /// Feed a `usize` (widened to 64 bits for cross-platform stability).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Feed an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.tagged(b'f', &v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Feed a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.tagged(b's', &(s.len() as u64).to_le_bytes());
+        self.h.update(s.as_bytes());
+        self
+    }
+
+    /// Feed a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.tagged(b'b', &(b.len() as u64).to_le_bytes());
+        self.h.update(b);
+        self
+    }
+
+    /// Finish, returning the digest as 64 lowercase hex characters.
+    pub fn hex(self) -> String {
+        hex(&self.h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sha_hex(data: &[u8]) -> String {
+        let mut h = Sha256::new();
+        h.update(data);
+        hex(&h.finalize())
+    }
+
+    #[test]
+    fn fips_test_vectors() {
+        assert_eq!(
+            sha_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn chunked_updates_match_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(hex(&h.finalize()), sha_hex(&data));
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let mut h = Sha256::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_injective_on_boundaries() {
+        let mut a = Fingerprint::new("t");
+        a.str("ab").str("c");
+        let mut b = Fingerprint::new("t");
+        b.str("a").str("bc");
+        assert_ne!(a.hex(), b.hex(), "string boundaries must be part of the encoding");
+
+        let mut a = Fingerprint::new("t");
+        a.u64(1);
+        let mut b = Fingerprint::new("t");
+        b.f64(f64::from_bits(1));
+        assert_ne!(a.hex(), b.hex(), "type tags must separate equal payloads");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_float_bit_patterns() {
+        let mut a = Fingerprint::new("t");
+        a.f64(0.0);
+        let mut b = Fingerprint::new("t");
+        b.f64(-0.0);
+        assert_ne!(a.hex(), b.hex());
+    }
+
+    #[test]
+    fn domain_separates() {
+        let mut a = Fingerprint::new("v1");
+        a.u64(7);
+        let mut b = Fingerprint::new("v2");
+        b.u64(7);
+        assert_ne!(a.hex(), b.hex());
+    }
+}

@@ -1,11 +1,17 @@
-//! Minimal JSON document model with a canonical writer.
+//! Minimal JSON document model with a canonical writer and a streaming
+//! [`parse`]r (the writer's inverse).
 //!
 //! Campaign results must serialize byte-identically across runs and thread
 //! counts, so the writer is deliberately boring: object keys keep insertion
 //! order, floats use Rust's shortest round-trip formatting, non-finite
-//! floats become `null`, and indentation is fixed two-space.
+//! floats become `null`, and indentation is fixed two-space. Because the
+//! float encoding is shortest-round-trip, `write → parse` reproduces every
+//! finite `f64` bit-exactly — the property the persisted phase database
+//! relies on.
 
 use std::fmt::Write as _;
+
+pub use crate::json_parse::{parse, ParseError, ParseEvent, Parser};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -10,12 +10,18 @@
 //!   requirement for the phase-trace generators and the campaign layer.
 //! * [`par`] — an order-preserving parallel map over scoped threads, the
 //!   substrate for both the phase-database build and campaign execution.
-//! * [`json`] — a minimal JSON document model with a canonical writer, so
-//!   campaign results are byte-identical across runs and thread counts.
+//! * [`json`] — a minimal JSON document model with a canonical writer and
+//!   a streaming parser (the writer's inverse), so campaign results are
+//!   byte-identical across runs and thread counts and persisted artifacts
+//!   round-trip losslessly.
+//! * [`hash`] — std-only SHA-256 plus a canonical [`hash::Fingerprint`]
+//!   builder, the basis of the content-addressed phase-database store.
 //! * [`bench`] — a tiny wall-clock measurement harness for the
 //!   `harness = false` benches.
 
 pub mod bench;
+pub mod hash;
 pub mod json;
+mod json_parse;
 pub mod par;
 pub mod rand;

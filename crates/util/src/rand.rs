@@ -158,7 +158,7 @@ impl RngExt for StdRng {
     fn random_range<T: UniformInt, R: UniformRange<T>>(&mut self, range: R) -> T {
         let (lo, hi) = range.bounds();
         let (lo, hi) = (lo.to_u64(), hi.to_u64());
-        let span = hi - lo + 1; // span == 0 means the full u64 domain
+        let span = hi.wrapping_sub(lo).wrapping_add(1); // 0 means the full u64 domain
         if span == 0 {
             return T::from_u64(self.next_u64());
         }

@@ -1,9 +1,13 @@
-//! Quickstart: build a small phase database, run the proposed RM3 against
-//! the idle baseline on a 2-core system, and report energy savings.
+//! Quickstart: resolve a small phase database through the content-addressed
+//! store, run the proposed RM3 against the idle baseline on a 2-core
+//! system, and report energy savings.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The first run builds the database and persists it under
+//! `target/phasedb/`; every later run loads it in milliseconds.
 
-use triad::phasedb::{build_apps, DbConfig};
+use triad::phasedb::{DbConfig, DbStore};
 use triad::rm::ModelKind;
 use triad::rm::RmKind;
 use triad::sim::engine::{SimConfig, SimModel, Simulator};
@@ -14,8 +18,14 @@ fn main() {
     let names = ["mcf", "povray"];
     let apps: Vec<_> =
         triad::trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
-    println!("running detailed simulations for {:?}...", names);
-    let db = build_apps(&apps, &DbConfig::default());
+    println!("resolving the phase database for {:?}...", names);
+    let resolved = DbStore::default_cache().resolve(&apps, &DbConfig::default());
+    println!(
+        "  {} ({})",
+        if resolved.outcome.is_hit() { "cache hit" } else { "built and cached" },
+        resolved.path.display()
+    );
+    let db = resolved.db;
 
     let idle = Simulator::new(&db, 2, SimConfig::idle()).run(&names);
     println!(

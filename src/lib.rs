@@ -28,16 +28,18 @@
 //! ## Quickstart
 //!
 //! ```no_run
-//! use triad::phasedb::{build_apps, DbConfig};
+//! use triad::phasedb::{DbConfig, DbStore};
 //! use triad::rm::RmKind;
 //! use triad::sim::{Campaign, ExperimentSpec};
 //!
-//! // Detailed simulation of two applications over every configuration.
+//! // Detailed simulation of two applications over every configuration,
+//! // resolved through the content-addressed store: built and persisted
+//! // once, loaded in milliseconds on every later run.
 //! let apps: Vec<_> = triad::trace::suite()
 //!     .into_iter()
 //!     .filter(|a| ["mcf", "povray"].contains(&a.name))
 //!     .collect();
-//! let db = build_apps(&apps, &DbConfig::default());
+//! let db = DbStore::default_cache().resolve(&apps, &DbConfig::default()).db;
 //!
 //! // Replay them on a 2-core system under each controller; the campaign
 //! // runs the specs in parallel against one shared idle baseline.
