@@ -1,0 +1,62 @@
+//! Per-interval power-evaluation cost under each energy backend.
+//!
+//! Every RM invocation evaluates core power across the candidate
+//! `(c, vf, util)` space, so backend lookup cost sits on the hot path the
+//! ROADMAP's profiling item tracks. This bench measures one "interval's
+//! worth" of accounting — a full sweep of the setting grid plus the DRAM
+//! and uncore terms — per backend, and asserts the table backend's
+//! interpolated lookups stay within 3× of the parametric closed form.
+//! Run with `cargo bench -p triad-bench --bench energy_backend`.
+
+use std::hint::black_box;
+use std::time::Duration;
+use triad_arch::{CoreSize, DvfsGrid};
+use triad_energy::{EnergyBackend, EnergyModel, ScaledBackend, TableBackend, TechNode};
+use triad_util::bench::bench;
+
+/// One interval's accounting: power over the whole candidate grid, plus
+/// the memory-side terms the simulator charges per interval.
+fn interval_accounting(em: &dyn EnergyBackend, grid: &DvfsGrid, utils: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for c in CoreSize::ALL {
+        for (_, vf) in grid.iter() {
+            for &u in utils {
+                acc += em.core_power(c, vf, u);
+            }
+        }
+    }
+    acc + em.dram_energy(1_000) + em.uncore_energy(8, 1e-3)
+}
+
+fn main() {
+    let grid = DvfsGrid::table1();
+    let utils: Vec<f64> = (0..8).map(|i| i as f64 / 7.0).collect();
+    let evals = (CoreSize::COUNT * grid.len() * utils.len()) as u64;
+
+    let parametric = EnergyModel::default_model();
+    let table = TableBackend::sampled_from(&parametric, grid.points(), "bench");
+    let scaled = ScaledBackend::new(parametric, TechNode::by_name("14nm").unwrap());
+
+    let backends: [(&str, &dyn EnergyBackend); 3] =
+        [("mcpat", &parametric), ("table", &table), ("scaled_14nm", &scaled)];
+
+    let budget = Duration::from_secs(2);
+    let mut per_iter = Vec::new();
+    for (name, em) in backends {
+        let m =
+            bench(&format!("energy_backend/interval_power_{name}"), Some(evals), budget, || {
+                black_box(interval_accounting(em, &grid, &utils));
+            });
+        per_iter.push((name, m.secs_per_iter));
+    }
+
+    let parametric_s = per_iter[0].1;
+    let table_s = per_iter[1].1;
+    let ratio = table_s / parametric_s;
+    println!("energy_backend/table_vs_parametric       {ratio:>12.2}x");
+    assert!(
+        ratio <= 3.0,
+        "table-backend interval accounting must stay within 3x of the parametric \
+         closed form (got {ratio:.2}x)"
+    );
+}

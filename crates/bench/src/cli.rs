@@ -12,6 +12,7 @@
 
 use crate::reports::{self, RunOptions};
 use crate::resolve_db;
+use triad_energy::EnergyBackendConfig;
 use triad_phasedb::{DbConfig, DbStore};
 use triad_sim::campaign::{parse_model, parse_rm, ExperimentSpec};
 
@@ -22,7 +23,8 @@ USAGE:
     triad-bench --experiment <NAME> [OPTIONS]
 
 EXPERIMENTS:
-    table1, table2, fig1, fig2, fig6, fig7, fig8, fig9, overheads, custom
+    table1, table2, fig1, fig2, fig6, fig7, fig8, fig9, overheads, custom,
+    energy-sweep (rerun one workload across every energy backend)
 
 OPTIONS:
     -e, --experiment <NAME>   which experiment to run (required)
@@ -36,7 +38,11 @@ OPTIONS:
         --db-cache <DIR>      phase-database cache directory
                               [default: $TRIAD_DB_CACHE or <workspace>/target/phasedb]
         --db-rebuild          ignore any cached database and rebuild (refreshes the cache)
-        --apps <A,B,..>       custom: one application per core
+        --energy-backend <B>  energy accounting backend: mcpat | table:<path> | scaled:<node>
+                              (nodes: 32nm, 22nm, 14nm, 7nm) [default: mcpat]
+        --energy-table <PATH> shorthand for --energy-backend table:<PATH>; for energy-sweep,
+                              the measured table to sweep (default: a table sampled from mcpat)
+        --apps <A,B,..>       custom/energy-sweep: one application per core
         --rm <KIND>           custom: idle | rm1 | rm2 | rm3 | rm3full [default: rm3]
         --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
         --alpha <X>           custom: QoS slack factor [default: 1.0]
@@ -57,6 +63,8 @@ pub struct Args {
     pub fast: bool,
     pub db_cache: Option<String>,
     pub db_rebuild: bool,
+    pub energy_backend: Option<String>,
+    pub energy_table: Option<String>,
     pub apps: Vec<String>,
     pub rm: String,
     pub model: String,
@@ -77,6 +85,8 @@ impl Default for Args {
             fast: false,
             db_cache: None,
             db_rebuild: false,
+            energy_backend: None,
+            energy_table: None,
             apps: Vec::new(),
             rm: "rm3".into(),
             model: "model3".into(),
@@ -116,6 +126,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--fast" => args.fast = true,
             "--db-cache" => args.db_cache = Some(value(&mut it, a)?),
             "--db-rebuild" => args.db_rebuild = true,
+            "--energy-backend" => args.energy_backend = Some(value(&mut it, a)?),
+            "--energy-table" => args.energy_table = Some(value(&mut it, a)?),
             "--apps" => {
                 args.apps = value(&mut it, a)?.split(',').map(|s| s.trim().to_string()).collect()
             }
@@ -144,22 +156,85 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
+    // Resolve the energy-backend selection (--energy-table is shorthand for
+    // --energy-backend table:<path>) and fail fast — before paying for the
+    // database — when the table file or technology node is bad.
+    let energy_cfg: Option<EnergyBackendConfig> = match (&args.energy_backend, &args.energy_table) {
+        (Some(b), t) => {
+            let cfg = EnergyBackendConfig::parse(b).ok_or_else(|| {
+                format!(
+                    "unknown --energy-backend {b} (expected mcpat, table:<path> or scaled:<node>)"
+                )
+            })?;
+            if let Some(t) = t {
+                if cfg != (EnergyBackendConfig::Table { path: t.clone() }) {
+                    return Err(format!("--energy-backend {b} conflicts with --energy-table {t}"));
+                }
+            }
+            Some(cfg)
+        }
+        (None, Some(t)) => Some(EnergyBackendConfig::Table { path: t.clone() }),
+        (None, None) => None,
+    };
+    if let Some(cfg) = &energy_cfg {
+        cfg.build().map_err(|e| format!("--energy-backend {}: {e}", cfg.label()))?;
+    }
     let run_opts = RunOptions {
         threads: args.threads,
         compare_serial: args.compare_serial,
         intervals: args.intervals.or(if args.fast { Some(32) } else { None }),
+        energy: energy_cfg.clone(),
     };
-    const EXPERIMENTS: [&str; 10] =
-        ["table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "overheads", "custom"];
+    const EXPERIMENTS: [&str; 11] = [
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "overheads",
+        "custom",
+        "energy-sweep",
+    ];
     if !EXPERIMENTS.contains(&args.experiment.as_str()) {
         return Err(format!("unknown experiment {}\n\n{USAGE}", args.experiment));
     }
     // Validate everything cheap *before* paying for the database build.
-    let custom_rm_model = if args.experiment == "custom" {
-        if args.apps.len() < 2 {
-            return Err("custom experiments need --apps with at least two names".into());
+    // The sweep owns backend selection — it reruns the same specs under
+    // every backend — so an explicit non-table --energy-backend would be
+    // silently ignored; reject it instead. --energy-table (or its
+    // table:<path> spelling) chooses the sweep's measured-table leg.
+    let sweep_table: Option<String> = match (&args.experiment[..], &energy_cfg) {
+        ("energy-sweep", None) => None,
+        ("energy-sweep", Some(EnergyBackendConfig::Table { path })) => Some(path.clone()),
+        ("energy-sweep", Some(other)) => {
+            return Err(format!(
+                "energy-sweep runs every backend; --energy-backend {} would have no \
+                 effect (use --energy-table to choose the measured-table leg)",
+                other.label()
+            ))
         }
-        if let Some(bad) = args.apps.iter().find(|n| triad_trace::by_name(n).is_none()) {
+        _ => None,
+    };
+    let sweep_apps: Vec<String> = if args.apps.is_empty() {
+        // The 3-app fast subset (the db_store bench's subset): small enough
+        // for CI smoke runs, mixed enough to exercise every backend path.
+        vec!["mcf".into(), "libquantum".into(), "povray".into()]
+    } else {
+        args.apps.clone()
+    };
+    let needs_apps = matches!(args.experiment.as_str(), "custom" | "energy-sweep");
+    let custom_rm_model = if needs_apps {
+        let apps = if args.experiment == "custom" { &args.apps } else { &sweep_apps };
+        if apps.len() < 2 {
+            return Err(format!(
+                "{} experiments need --apps with at least two names",
+                args.experiment
+            ));
+        }
+        if let Some(bad) = apps.iter().find(|n| triad_trace::by_name(n).is_none()) {
             let known: Vec<&str> = triad_trace::suite().iter().map(|a| a.name).collect();
             return Err(format!(
                 "unknown application {bad}; the suite contains: {}",
@@ -191,10 +266,21 @@ pub fn run(args: &Args) -> Result<(), String> {
         "fig1" => reports::fig1(),
         "fig2" => reports::fig2(db.unwrap(), &run_opts),
         "fig6" => reports::fig6(db.unwrap(), &core_list(args), args.seed, &run_opts),
-        "fig7" => reports::fig7(db.unwrap(), args.cores.unwrap_or(4)),
-        "fig8" => reports::fig8(db.unwrap(), args.cores.unwrap_or(4)),
+        "fig7" => reports::fig7(db.unwrap(), args.cores.unwrap_or(4), &run_opts),
+        "fig8" => reports::fig8(db.unwrap(), args.cores.unwrap_or(4), &run_opts),
         "fig9" => reports::fig9(db.unwrap(), &core_list(args), args.seed, &run_opts),
-        "overheads" => reports::overheads(db.unwrap(), args.seed, run_opts.intervals),
+        "overheads" => reports::overheads(db.unwrap(), args.seed, &run_opts),
+        "energy-sweep" => {
+            let names: Vec<&str> = sweep_apps.iter().map(String::as_str).collect();
+            let sweep_opts = RunOptions { energy: None, ..run_opts.clone() };
+            reports::energy_sweep(
+                db.unwrap(),
+                &names,
+                args.seed,
+                sweep_table.as_deref(),
+                &sweep_opts,
+            )
+        }
         "custom" => {
             let (rm, model) = custom_rm_model.expect("validated above");
             let names: Vec<&str> = args.apps.iter().map(String::as_str).collect();

@@ -20,6 +20,7 @@ use triad_arch::{
     DVFS_TRANSITION_TIME_S,
 };
 use triad_cache::MlpMonitor;
+use triad_energy::{EnergyBackendConfig, EnergyModel, TableBackend};
 use triad_mem::DramParams;
 use triad_phasedb::{characterize_app, PhaseDb};
 use triad_rm::RmKind;
@@ -32,12 +33,12 @@ use triad_sim::workload::{
     cell_probability, generate_workloads, scenario_of_pair, scenario_probability, Scenario,
     Workload,
 };
-use triad_sim::{evaluate_models, SimConfig, SimModel, Simulator};
+use triad_sim::{evaluate_models_with, SimConfig, SimModel, Simulator};
 use triad_trace::Category;
 use triad_util::json::Json;
 
 /// Execution knobs shared by the campaign-backed experiments.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
@@ -45,6 +46,14 @@ pub struct RunOptions {
     pub compare_serial: bool,
     /// Override the per-spec simulated horizon (RM intervals).
     pub intervals: Option<usize>,
+    /// Override every spec's energy-accounting backend (`None` leaves the
+    /// specs' own selection — the parametric default — in place).
+    pub energy: Option<EnergyBackendConfig>,
+}
+
+/// The backend an experiment effectively runs under, for JSON echoes.
+fn effective_backend(opts: &RunOptions) -> EnergyBackendConfig {
+    opts.energy.clone().unwrap_or_default()
 }
 
 /// Run specs as one campaign, honoring [`RunOptions`]; returns the rows
@@ -56,6 +65,9 @@ pub fn run_campaign(
 ) -> (Vec<CampaignRow>, Json) {
     if let Some(n) = opts.intervals {
         specs = specs.into_iter().map(|s| s.target_intervals(n)).collect();
+    }
+    if let Some(energy) = &opts.energy {
+        specs = specs.into_iter().map(|s| s.energy_backend(energy.clone())).collect();
     }
     let campaign = Campaign::new(specs).threads(opts.threads);
     let t0 = Instant::now();
@@ -390,9 +402,11 @@ fn qos_eval_json(evals: &[(triad_rm::ModelKind, triad_sim::QosEvaluation)]) -> J
 
 /// Fig. 7: QoS-violation probability, expected violation and standard
 /// deviation for Model1 / Model2 / Model3.
-pub fn fig7(db: &PhaseDb, n_cores: usize) -> Json {
+pub fn fig7(db: &PhaseDb, n_cores: usize, opts: &RunOptions) -> Json {
     let sys = SystemConfig::table1(n_cores);
-    let evals = evaluate_models(db, &sys);
+    let energy = effective_backend(opts);
+    let em = energy.build().expect("energy backend validated by the CLI");
+    let evals = evaluate_models_with(db, &sys, em.as_ref());
     println!("FIG. 7: QoS violations over all phases x current x target settings");
     println!("==================================================================");
     println!("{:<8} {:>12} {:>12} {:>12}", "model", "P(violation)", "E[violation]", "std");
@@ -412,14 +426,20 @@ pub fn fig7(db: &PhaseDb, n_cores: usize) -> Json {
     println!("Model3 vs Model2: probability {:+.0}% (paper: -32%)", (p[2] / p[1] - 1.0) * 100.0);
     println!("Model3 vs Model2: expected    {:+.0}% (paper: -49%)", (ev[2] / ev[1] - 1.0) * 100.0);
     println!("Model3 vs Model2: std         {:+.0}% (paper: -26%)", (sd[2] / sd[1] - 1.0) * 100.0);
-    Json::obj().set("experiment", "fig7").set("cores", n_cores).set("models", qos_eval_json(&evals))
+    Json::obj()
+        .set("experiment", "fig7")
+        .set("cores", n_cores)
+        .set("energy_backend", energy.label())
+        .set("models", qos_eval_json(&evals))
 }
 
 /// Fig. 8: distribution of QoS-violation magnitudes per model, normalized
 /// to the maximum bin across models.
-pub fn fig8(db: &PhaseDb, n_cores: usize) -> Json {
+pub fn fig8(db: &PhaseDb, n_cores: usize, opts: &RunOptions) -> Json {
     let sys = SystemConfig::table1(n_cores);
-    let evals = evaluate_models(db, &sys);
+    let energy = effective_backend(opts);
+    let em = energy.build().expect("energy backend validated by the CLI");
+    let evals = evaluate_models_with(db, &sys, em.as_ref());
     let max = evals.iter().map(|(_, e)| e.histogram_max()).fold(0.0f64, f64::max);
     println!("FIG. 8: violation-magnitude distribution (normalized to max bin)");
     println!("=================================================================");
@@ -444,7 +464,11 @@ pub fn fig8(db: &PhaseDb, n_cores: usize) -> Json {
     }
     println!("\npaper shape: Model3 may show slightly more small (~5%) violations but");
     println!("substantially fewer in total, with the large-violation tail cut hardest");
-    Json::obj().set("experiment", "fig8").set("cores", n_cores).set("models", qos_eval_json(&evals))
+    Json::obj()
+        .set("experiment", "fig8")
+        .set("cores", n_cores)
+        .set("energy_backend", energy.label())
+        .set("models", qos_eval_json(&evals))
 }
 
 /// Fig. 9: RM3 savings under Model1/Model2/Model3 versus the perfect-model
@@ -510,7 +534,9 @@ pub fn fig9(db: &PhaseDb, core_counts: &[usize], seed: u64, opts: &RunOptions) -
 
 /// §III-E: RM algorithm overheads — operation counts per invocation versus
 /// core count, plus the fixed hardware-transition costs.
-pub fn overheads(db: &PhaseDb, seed: u64, intervals: Option<usize>) -> Json {
+pub fn overheads(db: &PhaseDb, seed: u64, opts: &RunOptions) -> Json {
+    let intervals = opts.intervals;
+    let energy = effective_backend(opts);
     println!("SEC. III-E: RM algorithm overheads");
     println!("==================================");
     println!("{:<8} {:>10} {:>10} {:>14}", "cores", "RM", "ops/invoc", "~instructions");
@@ -523,7 +549,7 @@ pub fn overheads(db: &PhaseDb, seed: u64, intervals: Option<usize>) -> Json {
                 cfg.target_intervals = n;
             }
             let instr_per_op = cfg.rm_instr_per_op;
-            let sim = Simulator::new(db, n, cfg);
+            let sim = Simulator::with_energy_config(db, n, cfg, &energy);
             let names: Vec<&str> = wl.apps.to_vec();
             let r = sim.run(&names);
             let ops = r.rm_ops as f64 / r.rm_invocations.max(1) as f64;
@@ -557,6 +583,7 @@ pub fn overheads(db: &PhaseDb, seed: u64, intervals: Option<usize>) -> Json {
     );
     Json::obj()
         .set("experiment", "overheads")
+        .set("energy_backend", energy.label())
         .set("rows", Json::Arr(rows))
         .set("dvfs_transition_s", DVFS_TRANSITION_TIME_S)
         .set("dvfs_transition_j", DVFS_TRANSITION_ENERGY_J)
@@ -572,6 +599,7 @@ pub fn custom(db: &PhaseDb, spec: ExperimentSpec, opts: &RunOptions) -> Json {
     println!("apps:            {}", row.spec.apps.join(","));
     println!("controller:      {}", row.spec.rm.map(|r| r.label()).unwrap_or("idle"));
     println!("model:           {}", model_label(row.spec.model));
+    println!("energy backend:  {}", row.spec.energy.label());
     println!("alpha:           {}", row.spec.alpha);
     println!("overheads:       {}", row.spec.overheads);
     println!(
@@ -588,6 +616,99 @@ pub fn custom(db: &PhaseDb, spec: ExperimentSpec, opts: &RunOptions) -> Json {
     println!("RM invocations:  {}", row.result.rm_invocations);
     Json::obj()
         .set("experiment", "custom")
+        .set("campaign", Campaign::report(&rows))
+        .set("timing", timing)
+}
+
+/// Relative path the sweep writes its sampled reference table to when no
+/// measured table is supplied (stable, so reports stay reproducible).
+pub const SAMPLED_TABLE_PATH: &str = "target/triad-energy-table-mcpat-sampled.json";
+
+/// `energy-sweep`: rerun one workload's RM3-vs-idle campaign under every
+/// energy backend and report the per-backend savings deltas — the
+/// energy-model sensitivity study the backend seam exists for.
+///
+/// The measured-table leg uses `table` when given; otherwise a table
+/// sampled from the parametric model at the Table I operating points is
+/// written to [`SAMPLED_TABLE_PATH`] and swept (exercising the exact file
+/// path a real measurement campaign would take).
+pub fn energy_sweep(
+    db: &PhaseDb,
+    apps: &[&str],
+    seed: u64,
+    table: Option<&str>,
+    opts: &RunOptions,
+) -> Json {
+    let table_path: String = match table {
+        Some(p) => p.to_string(),
+        None => {
+            let grid = DvfsGrid::table1();
+            let sampled = TableBackend::sampled_from(
+                &EnergyModel::default_model(),
+                grid.points(),
+                SAMPLED_TABLE_PATH,
+            );
+            // The path is cwd-relative; fs::write does not create parents.
+            if let Some(parent) = std::path::Path::new(SAMPLED_TABLE_PATH).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            sampled.save(SAMPLED_TABLE_PATH).expect("writing the sampled energy table");
+            eprintln!("sampled reference table written to {SAMPLED_TABLE_PATH}");
+            SAMPLED_TABLE_PATH.to_string()
+        }
+    };
+    let backends: Vec<EnergyBackendConfig> = vec![
+        EnergyBackendConfig::Parametric,
+        EnergyBackendConfig::Table { path: table_path },
+        EnergyBackendConfig::Scaled { node: "22nm".into() },
+        EnergyBackendConfig::Scaled { node: "14nm".into() },
+        EnergyBackendConfig::Scaled { node: "7nm".into() },
+    ];
+    let specs: Vec<ExperimentSpec> = backends
+        .iter()
+        .map(|b| {
+            ExperimentSpec::new(format!("sweep/{}", b.label()), apps)
+                .seed(seed)
+                .energy_backend(b.clone())
+        })
+        .collect();
+    let (rows, timing) = run_campaign(db, specs, opts);
+
+    let base_savings = rows[0].savings;
+    println!("ENERGY SWEEP: RM3 savings per energy backend ({} cores)", apps.len());
+    println!("=============================================================");
+    println!(
+        "{:<44} {:>10} {:>10} {:>8} {:>8}",
+        "backend", "energy J", "idle J", "savings", "Δ vs mcpat"
+    );
+    let mut summary = Vec::new();
+    for (b, row) in backends.iter().zip(&rows) {
+        let delta = row.savings - base_savings;
+        println!(
+            "{:<44} {:>10.3} {:>10.3} {:>8} {:>+7.2}pp",
+            b.label(),
+            row.result.total_energy_j,
+            row.idle_energy_j,
+            pct(row.savings),
+            delta * 100.0
+        );
+        summary.push(
+            Json::obj()
+                .set("backend", b.label())
+                .set("total_energy_j", row.result.total_energy_j)
+                .set("idle_energy_j", row.idle_energy_j)
+                .set("savings", row.savings)
+                .set("delta_savings_vs_parametric", delta)
+                .set("violation_rate", row.violation_rate),
+        );
+    }
+    println!("\nabsolute joules shift with the backend; the savings *ratio* is the");
+    println!("sensitivity headline (leakier nodes reward down-volting less)");
+    Json::obj()
+        .set("experiment", "energy-sweep")
+        .set("apps", apps.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        .set("seed", seed)
+        .set("backends", Json::Arr(summary))
         .set("campaign", Campaign::report(&rows))
         .set("timing", timing)
 }

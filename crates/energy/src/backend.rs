@@ -1,0 +1,263 @@
+//! The pluggable energy-accounting seam: [`EnergyBackend`] and its
+//! serializable selector [`EnergyBackendConfig`].
+//!
+//! Everything downstream of the power model — the online RM's Eq. 4–5, the
+//! simulator's ground-truth bookkeeping, the campaign reports — consumes
+//! power and energy exclusively through this trait, so the McPAT-style
+//! parameterization the paper calibrated (§IV-A) becomes *one* backend among
+//! several rather than a hard-coded constant. Alternative backends let every
+//! existing experiment re-run as an energy-model sensitivity study: the
+//! measured-power [`crate::TableBackend`] drives the accounting from
+//! per-(core size, V/f) lookup tables, and the technology
+//! [`crate::ScaledBackend`] re-derives results at other process nodes.
+//!
+//! ## Trait contract
+//!
+//! Implementations must be pure functions of their construction inputs
+//! (campaign determinism relies on it) and must satisfy, over the whole
+//! `(c, vf, util)` grid:
+//!
+//! * every power and energy query returns a finite, nonnegative value;
+//! * `core_power` is nondecreasing in the operating point at fixed
+//!   utilization (raising V/f never reduces power draw);
+//! * `dyn_ratio(t, c)` equals the ratio of full-utilization dynamic power
+//!   between sizes at the reference point (the RM's Eq. 4 extrapolation
+//!   factor), so `dyn_ratio(a, b) · dyn_ratio(b, a) = 1`.
+//!
+//! These invariants are enforced for every in-tree backend by the
+//! `backend_properties` test suite.
+
+use crate::scaled::{ScaledBackend, TechNode};
+use crate::table::TableBackend;
+use crate::EnergyModel;
+use triad_arch::{CoreSize, VfPoint};
+use triad_util::json::Json;
+
+/// A power/energy accounting model: the one seam through which the RM, the
+/// simulator and the reports observe watts and joules.
+pub trait EnergyBackend: std::fmt::Debug + Send + Sync {
+    /// Self-describing identity recorded in campaign rows and JSON reports,
+    /// e.g. `"mcpat"`, `"table:power.json"`, `"scaled:14nm"`.
+    fn label(&self) -> String;
+
+    /// Dynamic core power at operating point `vf` with utilization
+    /// `util ∈ [0, 1]` (retired IPC over dispatch width), watts.
+    fn core_dynamic_power(&self, c: CoreSize, vf: VfPoint, util: f64) -> f64;
+
+    /// Static (leakage) core power at operating point `vf`, watts.
+    fn core_static_power(&self, c: CoreSize, vf: VfPoint) -> f64;
+
+    /// Energy per DRAM line transfer (read or writeback), joules.
+    fn dram_energy_per_access_j(&self) -> f64;
+
+    /// Uncore (LLC slice + NoC) power per core on the global domain, watts.
+    fn uncore_w_per_core(&self) -> f64;
+
+    /// Full-utilization dynamic-power ratio between core sizes at the
+    /// reference operating point — the offline capacitance ratio the online
+    /// model uses to extrapolate a sampled power to other sizes (Eq. 4).
+    fn dyn_ratio(&self, target: CoreSize, current: CoreSize) -> f64;
+
+    /// Total core power: dynamic plus static.
+    fn core_power(&self, c: CoreSize, vf: VfPoint, util: f64) -> f64 {
+        self.core_dynamic_power(c, vf, util) + self.core_static_power(c, vf)
+    }
+
+    /// Core energy over a duration.
+    fn core_energy(&self, c: CoreSize, vf: VfPoint, util: f64, time_s: f64) -> f64 {
+        self.core_power(c, vf, util) * time_s
+    }
+
+    /// DRAM energy for `accesses` line transfers (reads + writebacks).
+    fn dram_energy(&self, accesses: u64) -> f64 {
+        accesses as f64 * self.dram_energy_per_access_j()
+    }
+
+    /// Uncore energy for an `n_cores` system over a duration.
+    fn uncore_energy(&self, n_cores: usize, time_s: f64) -> f64 {
+        self.uncore_w_per_core() * n_cores as f64 * time_s
+    }
+}
+
+/// A pure, serializable description of which backend to construct — the
+/// form carried by experiment specs and recorded in campaign metadata so
+/// archived rows stay attributable to the power model that produced them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum EnergyBackendConfig {
+    /// The default McPAT-parametric [`EnergyModel`] (bit-compatible with
+    /// the pre-trait accounting).
+    #[default]
+    Parametric,
+    /// A measured-power [`TableBackend`] loaded from the canonical JSON
+    /// file at `path`.
+    Table {
+        /// Path of the table file (relative paths resolve against the
+        /// process working directory).
+        path: String,
+    },
+    /// A technology [`ScaledBackend`] over the parametric base.
+    Scaled {
+        /// Process-node name (see [`TechNode::ALL`]), e.g. `"14nm"`.
+        node: String,
+    },
+}
+
+impl EnergyBackendConfig {
+    /// The spelling accepted by [`EnergyBackendConfig::parse`] and written
+    /// into reports: `mcpat`, `table:<path>` or `scaled:<node>`.
+    pub fn label(&self) -> String {
+        match self {
+            EnergyBackendConfig::Parametric => "mcpat".into(),
+            EnergyBackendConfig::Table { path } => format!("table:{path}"),
+            EnergyBackendConfig::Scaled { node } => format!("scaled:{node}"),
+        }
+    }
+
+    /// Parse a CLI spelling (`mcpat` / `parametric` / `default`,
+    /// `table:<path>`, `scaled:<node>`). Validation beyond the shape — the
+    /// table file existing, the node being known — happens in
+    /// [`EnergyBackendConfig::build`].
+    pub fn parse(s: &str) -> Option<EnergyBackendConfig> {
+        if let Some(path) = s.strip_prefix("table:") {
+            if path.is_empty() {
+                return None;
+            }
+            return Some(EnergyBackendConfig::Table { path: path.to_string() });
+        }
+        if let Some(node) = s.strip_prefix("scaled:") {
+            if node.is_empty() {
+                return None;
+            }
+            return Some(EnergyBackendConfig::Scaled { node: node.to_string() });
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "mcpat" | "parametric" | "default" => Some(EnergyBackendConfig::Parametric),
+            _ => None,
+        }
+    }
+
+    /// Construct the described backend. Fails when a table file is missing
+    /// or malformed, or a technology node is unknown.
+    pub fn build(&self) -> Result<Box<dyn EnergyBackend>, String> {
+        match self {
+            EnergyBackendConfig::Parametric => Ok(Box::new(EnergyModel::default_model())),
+            EnergyBackendConfig::Table { path } => {
+                TableBackend::load(path).map(|t| Box::new(t) as Box<dyn EnergyBackend>)
+            }
+            EnergyBackendConfig::Scaled { node } => {
+                let node = TechNode::by_name(node).ok_or_else(|| {
+                    let known: Vec<&str> = TechNode::ALL.iter().map(|n| n.name).collect();
+                    format!("unknown technology node {node:?}; known nodes: {}", known.join(", "))
+                })?;
+                Ok(Box::new(ScaledBackend::new(EnergyModel::default_model(), node)))
+            }
+        }
+    }
+
+    /// Canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            EnergyBackendConfig::Parametric => Json::obj().set("kind", "parametric"),
+            EnergyBackendConfig::Table { path } => {
+                Json::obj().set("kind", "table").set("path", path.clone())
+            }
+            EnergyBackendConfig::Scaled { node } => {
+                Json::obj().set("kind", "scaled").set("node", node.clone())
+            }
+        }
+    }
+
+    /// Inverse of [`EnergyBackendConfig::to_json`].
+    pub fn from_json(j: &Json) -> Result<EnergyBackendConfig, String> {
+        let kind = match j.get("kind") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err("energy backend config: missing string field \"kind\"".into()),
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            match j.get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("energy backend config: missing string field {key:?}")),
+            }
+        };
+        match kind {
+            "parametric" => Ok(EnergyBackendConfig::Parametric),
+            "table" => Ok(EnergyBackendConfig::Table { path: str_field("path")? }),
+            "scaled" => Ok(EnergyBackendConfig::Scaled { node: str_field("node")? }),
+            other => Err(format!("energy backend config: unknown kind {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for EnergyBackendConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_spelling_and_rejects_garbage() {
+        assert_eq!(EnergyBackendConfig::parse("mcpat"), Some(EnergyBackendConfig::Parametric));
+        assert_eq!(EnergyBackendConfig::parse("Parametric"), Some(EnergyBackendConfig::Parametric));
+        assert_eq!(EnergyBackendConfig::parse("default"), Some(EnergyBackendConfig::Parametric));
+        assert_eq!(
+            EnergyBackendConfig::parse("table:power.json"),
+            Some(EnergyBackendConfig::Table { path: "power.json".into() })
+        );
+        assert_eq!(
+            EnergyBackendConfig::parse("scaled:14nm"),
+            Some(EnergyBackendConfig::Scaled { node: "14nm".into() })
+        );
+        assert_eq!(EnergyBackendConfig::parse("table:"), None);
+        assert_eq!(EnergyBackendConfig::parse("scaled:"), None);
+        assert_eq!(EnergyBackendConfig::parse("bogus"), None);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for cfg in [
+            EnergyBackendConfig::Parametric,
+            EnergyBackendConfig::Table { path: "x/y.json".into() },
+            EnergyBackendConfig::Scaled { node: "7nm".into() },
+        ] {
+            assert_eq!(EnergyBackendConfig::parse(&cfg.label()), Some(cfg.clone()));
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for cfg in [
+            EnergyBackendConfig::Parametric,
+            EnergyBackendConfig::Table { path: "tables/p.json".into() },
+            EnergyBackendConfig::Scaled { node: "22nm".into() },
+        ] {
+            let j = cfg.to_json();
+            assert_eq!(EnergyBackendConfig::from_json(&j), Ok(cfg.clone()));
+            // And through the canonical writer/parser pair.
+            let parsed = triad_util::json::parse(&j.to_string_pretty()).unwrap();
+            assert_eq!(EnergyBackendConfig::from_json(&parsed), Ok(cfg));
+        }
+        assert!(EnergyBackendConfig::from_json(&Json::obj().set("kind", "nope")).is_err());
+        assert!(EnergyBackendConfig::from_json(&Json::obj().set("kind", "table")).is_err());
+    }
+
+    #[test]
+    fn build_resolves_every_kind() {
+        assert_eq!(EnergyBackendConfig::Parametric.build().unwrap().label(), "mcpat");
+        assert_eq!(
+            EnergyBackendConfig::Scaled { node: "14nm".into() }.build().unwrap().label(),
+            "scaled:14nm"
+        );
+        assert!(EnergyBackendConfig::Scaled { node: "3nm".into() }.build().is_err());
+        assert!(EnergyBackendConfig::Table { path: "/no/such/file.json".into() }.build().is_err());
+    }
+
+    #[test]
+    fn default_is_parametric() {
+        assert_eq!(EnergyBackendConfig::default(), EnergyBackendConfig::Parametric);
+        assert_eq!(EnergyBackendConfig::default().label(), "mcpat");
+    }
+}

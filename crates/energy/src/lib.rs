@@ -19,6 +19,32 @@
 //! Only *relative* energies across `(c, f, w)` matter for the RM's decisions
 //! and for the savings ratios the paper reports; the constants below put
 //! cores in the 1–6 W range of McPAT results for this class of OoO designs.
+//!
+//! ## Pluggable backends
+//!
+//! The parametric model is one of several interchangeable accounting
+//! models behind the [`EnergyBackend`] trait — the seam every consumer
+//! (the RM's Eq. 4–5, the simulator's bookkeeping, the reports) goes
+//! through:
+//!
+//! * [`EnergyModel`] — this crate's McPAT-parametric model (the default;
+//!   bit-compatible with the pre-trait accounting);
+//! * [`TableBackend`] — measured per-(core size, V/f) power tables with
+//!   linear interpolation, loadable from canonical JSON;
+//! * [`ScaledBackend`] — per-[`TechNode`] dynamic/leakage factors over the
+//!   parametric base for technology-sensitivity sweeps.
+//!
+//! Experiment specs select one via the serializable
+//! [`EnergyBackendConfig`]; see the trait docs for the contract every
+//! implementation must uphold.
+
+pub mod backend;
+pub mod scaled;
+pub mod table;
+
+pub use backend::{EnergyBackend, EnergyBackendConfig};
+pub use scaled::{ScaledBackend, TechNode};
+pub use table::{TableBackend, TablePoint, TABLE_SCHEMA};
 
 use triad_arch::{CoreSize, VfPoint};
 
@@ -57,7 +83,10 @@ impl EnergyModel {
     /// S ≈ 1.4 W, M ≈ 2.8 W, L ≈ 5.5 W dynamic at the reference point (linear
     /// in width — the premise of §I's core-adaptation argument); leakage
     /// grows sublinearly with width (shared uncore-side structures), and
-    /// clock gating leaves an 8 % floor of peak dynamic power when stalled.
+    /// clock gating leaves an 11 % floor of peak dynamic power when stalled
+    /// (`dyn_floor = 0.11` — the value every published number in this
+    /// repository was calibrated with; an earlier comment claimed 8 %, but
+    /// the constant, not the prose, has always driven the results).
     pub const fn default_model() -> Self {
         EnergyModel {
             core: [
@@ -104,11 +133,43 @@ impl EnergyModel {
     pub fn uncore_energy(&self, n_cores: usize, time_s: f64) -> f64 {
         self.uncore_w_per_core * n_cores as f64 * time_s
     }
+
+    /// Full-utilization dynamic-power (capacitance) ratio between core
+    /// sizes at the reference point — the Eq. 4 extrapolation factor.
+    pub fn dyn_ratio(&self, target: CoreSize, current: CoreSize) -> f64 {
+        self.core[target.index()].dyn_ref_w / self.core[current.index()].dyn_ref_w
+    }
 }
 
 impl Default for EnergyModel {
     fn default() -> Self {
         Self::default_model()
+    }
+}
+
+impl EnergyBackend for EnergyModel {
+    fn label(&self) -> String {
+        "mcpat".into()
+    }
+
+    fn core_dynamic_power(&self, c: CoreSize, vf: VfPoint, util: f64) -> f64 {
+        EnergyModel::core_dynamic_power(self, c, vf, util)
+    }
+
+    fn core_static_power(&self, c: CoreSize, vf: VfPoint) -> f64 {
+        EnergyModel::core_static_power(self, c, vf)
+    }
+
+    fn dram_energy_per_access_j(&self) -> f64 {
+        self.dram_energy_per_access_j
+    }
+
+    fn uncore_w_per_core(&self) -> f64 {
+        self.uncore_w_per_core
+    }
+
+    fn dyn_ratio(&self, target: CoreSize, current: CoreSize) -> f64 {
+        EnergyModel::dyn_ratio(self, target, current)
     }
 }
 

@@ -1,0 +1,160 @@
+//! The technology-scaling backend: per-node leakage/dynamic factors over
+//! the parametric base.
+//!
+//! The paper's constants target a 32 nm-class out-of-order design (§IV-A).
+//! Process shrinks reduce switched capacitance — and therefore dynamic
+//! power at iso-V/f — faster than they reduce leakage, which is the
+//! post-Dennard trend that motivates re-checking the RM's savings at other
+//! nodes: as the static share grows, down-volting buys relatively less and
+//! the core-adaptation axis gains weight. [`ScaledBackend`] applies a
+//! [`TechNode`]'s `(dynamic_scale, leakage_scale)` pair to the parametric
+//! [`EnergyModel`]: dynamic core power and the (on-chip) uncore scale by
+//! the dynamic factor, static core power by the leakage factor, and the
+//! off-chip DRAM access energy is left untouched.
+//!
+//! The factor pairs are ITRS-magnitude capacitance/leakage trends per
+//! full-node shrink from the 32 nm base — deliberately round numbers meant
+//! for sensitivity sweeps, not sign-off.
+
+use crate::{EnergyBackend, EnergyModel};
+use triad_arch::{CoreSize, VfPoint};
+
+/// A process node's scaling factors relative to the 32 nm base model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Node name as spelled in configs and reports (`"14nm"`).
+    pub name: &'static str,
+    /// Dynamic-power factor at iso-V/f (switched-capacitance shrink).
+    pub dynamic_scale: f64,
+    /// Static-power factor (leakage shrinks slower than capacitance).
+    pub leakage_scale: f64,
+}
+
+impl TechNode {
+    /// Known nodes, largest geometry first. `32nm` is the identity node of
+    /// the parametric calibration.
+    pub const ALL: [TechNode; 4] = [
+        TechNode { name: "32nm", dynamic_scale: 1.0, leakage_scale: 1.0 },
+        TechNode { name: "22nm", dynamic_scale: 0.71, leakage_scale: 0.85 },
+        TechNode { name: "14nm", dynamic_scale: 0.50, leakage_scale: 0.74 },
+        TechNode { name: "7nm", dynamic_scale: 0.33, leakage_scale: 0.65 },
+    ];
+
+    /// Look a node up by its name (case-sensitive, as reported).
+    pub fn by_name(name: &str) -> Option<TechNode> {
+        TechNode::ALL.iter().copied().find(|n| n.name == name)
+    }
+}
+
+/// A parametric model re-scaled to another process node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledBackend {
+    /// The 32 nm-calibrated base model.
+    pub base: EnergyModel,
+    /// The target node's factors.
+    pub node: TechNode,
+}
+
+impl ScaledBackend {
+    /// Scale `base` to `node`.
+    pub fn new(base: EnergyModel, node: TechNode) -> Self {
+        ScaledBackend { base, node }
+    }
+}
+
+impl EnergyBackend for ScaledBackend {
+    fn label(&self) -> String {
+        format!("scaled:{}", self.node.name)
+    }
+
+    fn core_dynamic_power(&self, c: CoreSize, vf: VfPoint, util: f64) -> f64 {
+        self.base.core_dynamic_power(c, vf, util) * self.node.dynamic_scale
+    }
+
+    fn core_static_power(&self, c: CoreSize, vf: VfPoint) -> f64 {
+        self.base.core_static_power(c, vf) * self.node.leakage_scale
+    }
+
+    fn dram_energy_per_access_j(&self) -> f64 {
+        // DRAM is off-chip: the core's process node does not scale it.
+        self.base.dram_energy_per_access_j
+    }
+
+    fn uncore_w_per_core(&self) -> f64 {
+        self.base.uncore_w_per_core * self.node.dynamic_scale
+    }
+
+    fn dyn_ratio(&self, target: CoreSize, current: CoreSize) -> f64 {
+        // The node factor cancels in the size ratio.
+        self.base.dyn_ratio(target, current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_arch::DvfsGrid;
+
+    #[test]
+    fn identity_node_reproduces_the_base_model() {
+        let base = EnergyModel::default_model();
+        let s = ScaledBackend::new(base, TechNode::by_name("32nm").unwrap());
+        let grid = DvfsGrid::table1();
+        for c in CoreSize::ALL {
+            for (_, vf) in grid.iter() {
+                assert_eq!(s.core_power(c, vf, 0.7), base.core_power(c, vf, 0.7));
+            }
+        }
+        assert_eq!(s.dram_energy(5), base.dram_energy(5));
+        assert_eq!(s.uncore_energy(4, 2.0), base.uncore_energy(4, 2.0));
+    }
+
+    #[test]
+    fn smaller_nodes_burn_less_power_but_grow_the_static_share() {
+        let base = EnergyModel::default_model();
+        let grid = DvfsGrid::table1();
+        let vf = grid.baseline_point();
+        let mut prev_power = f64::INFINITY;
+        let mut prev_static_share = 0.0;
+        for node in TechNode::ALL {
+            let s = ScaledBackend::new(base, node);
+            let p = s.core_power(CoreSize::M, vf, 0.8);
+            let share = s.core_static_power(CoreSize::M, vf) / p;
+            assert!(p < prev_power, "{}: power must shrink with the node", node.name);
+            assert!(
+                share > prev_static_share,
+                "{}: leakage share must grow as dynamic shrinks faster",
+                node.name
+            );
+            prev_power = p;
+            prev_static_share = share;
+        }
+    }
+
+    #[test]
+    fn dram_energy_is_node_independent() {
+        let base = EnergyModel::default_model();
+        for node in TechNode::ALL {
+            let s = ScaledBackend::new(base, node);
+            assert_eq!(s.dram_energy_per_access_j(), base.dram_energy_per_access_j);
+        }
+    }
+
+    #[test]
+    fn size_ratios_are_node_invariant() {
+        let base = EnergyModel::default_model();
+        for node in TechNode::ALL {
+            let s = ScaledBackend::new(base, node);
+            assert_eq!(
+                s.dyn_ratio(CoreSize::L, CoreSize::S),
+                base.dyn_ratio(CoreSize::L, CoreSize::S)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        assert!(TechNode::by_name("3nm").is_none());
+        assert_eq!(TechNode::by_name("7nm").unwrap().name, "7nm");
+    }
+}

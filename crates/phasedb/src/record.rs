@@ -1,7 +1,7 @@
 //! Database record types and query interface.
 
 use triad_arch::{CoreSize, VfPoint};
-use triad_energy::EnergyModel;
+use triad_energy::EnergyBackend;
 use triad_trace::AppSpec;
 
 /// Smallest per-core LLC allocation stored (Table I: 2 ways).
@@ -106,9 +106,13 @@ impl PhaseRecord {
         self.misses_pi(w) * (1.0 + self.wb_frac)
     }
 
-    /// Ground-truth energy per instruction at `(c, vf, w)`: core power
-    /// (with true utilization) over the true time, plus DRAM access energy.
-    pub fn energy_pi(&self, c: CoreSize, vf: VfPoint, w: usize, em: &EnergyModel) -> f64 {
+    /// Ground-truth energy per instruction at `(c, vf, w)` under `em`:
+    /// core power (with true utilization) over the true time, plus DRAM
+    /// access energy. The record itself stores only microarchitectural
+    /// ground truth — timing, utilization and access counts — so the same
+    /// database serves every energy backend (and the store fingerprint is
+    /// backend-independent).
+    pub fn energy_pi(&self, c: CoreSize, vf: VfPoint, w: usize, em: &dyn EnergyBackend) -> f64 {
         let t = self.tpi(c, vf.freq_hz, w);
         let util = self.util(c, vf.freq_hz, w);
         em.core_power(c, vf, util) * t + em.dram_energy(1) * self.dram_accesses_pi(w)

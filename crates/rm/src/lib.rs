@@ -27,6 +27,12 @@
 //! Model1 (total misses), Model2 (constant measured MLP — the prior-art
 //! model) and Model3 (the proposed per-configuration leading-miss
 //! estimates from the ATD extension).
+//!
+//! Power and energy enter the models exclusively through the
+//! `triad_energy::EnergyBackend` trait: the RM never hard-codes a power
+//! parameterization, so experiment specs can swap the McPAT-parametric
+//! default for measured tables or technology-scaled variants without
+//! touching any optimizer code.
 
 pub mod global;
 pub mod local;

@@ -12,7 +12,10 @@ use triad_arch::{CoreSize, DvfsGrid, Setting};
 /// A predictor of next-interval behavior at an arbitrary setting.
 ///
 /// Implemented by [`crate::OnlineModel`] (the paper's Eq. 1–5) and by the
-/// simulator's *perfect* model (ground-truth database lookups).
+/// simulator's *perfect* model (ground-truth database lookups). Both carry
+/// a `&dyn triad_energy::EnergyBackend`, so the energy side of every
+/// prediction — and therefore every plan the optimizers below produce —
+/// follows whichever backend the experiment spec selected.
 pub trait IntervalModel {
     /// Predicted `(seconds, joules)` per instruction at `s`.
     fn predict(&self, s: Setting) -> (f64, f64);

@@ -6,7 +6,7 @@
 
 use crate::local::IntervalModel;
 use triad_arch::{CoreSize, DvfsGrid, Setting};
-use triad_energy::EnergyModel;
+use triad_energy::EnergyBackend;
 use triad_phasedb::{cw, MonitorStats};
 
 /// Which memory-time estimator the performance model uses.
@@ -69,8 +69,8 @@ pub struct OnlineModel<'a> {
     /// DVFS grid (maps `VfIndex` to voltage/frequency).
     pub grid: &'a DvfsGrid,
     /// Offline power tables (static power per size/VF; dynamic capacitance
-    /// ratios between sizes).
-    pub energy: &'a EnergyModel,
+    /// ratios between sizes) — any [`EnergyBackend`].
+    pub energy: &'a dyn EnergyBackend,
     /// Main-memory access latency `L_mem` (Eq. 2), seconds.
     pub lmem_s: f64,
 }
@@ -108,15 +108,14 @@ impl<'a> OnlineModel<'a> {
     pub fn energy_pi(&self, s: Setting) -> f64 {
         let cur_vf = self.grid.point(self.obs.current.vf);
         let vf = self.grid.point(s.vf);
-        let cap_ratio = self.energy.core[s.core.index()].dyn_ref_w
-            / self.energy.core[self.obs.current.core.index()].dyn_ref_w;
+        let cap_ratio = self.energy.dyn_ratio(s.core, self.obs.current.core);
         let p_dyn = self.obs.sampled_dyn_w * cap_ratio * (vf.volt * vf.volt * vf.freq_hz)
             / (cur_vf.volt * cur_vf.volt * cur_vf.freq_hz);
         let p_static = self.energy.core_static_power(s.core, vf);
         let t = self.time_pi(s);
         let dm =
             self.obs.miss_curve_pi[s.ways - 1] - self.obs.miss_curve_pi[self.obs.current.ways - 1];
-        let e_mem = (self.obs.stats.ma_pi + dm) * self.energy.dram_energy_per_access_j;
+        let e_mem = (self.obs.stats.ma_pi + dm) * self.energy.dram_energy_per_access_j();
         (p_dyn + p_static) * t + e_mem.max(0.0)
     }
 }
@@ -130,6 +129,7 @@ impl<'a> IntervalModel for OnlineModel<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use triad_energy::EnergyModel;
     use triad_phasedb::{NC, NW};
 
     fn stats() -> MonitorStats {

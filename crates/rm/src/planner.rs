@@ -1,4 +1,10 @@
 //! System-level planning: local plans → global partition → new settings.
+//!
+//! The planner is energy-backend agnostic: joules enter through the
+//! [`LocalPlan`] energy curves (produced by an [`crate::IntervalModel`]
+//! holding a `&dyn triad_energy::EnergyBackend`), and this layer only
+//! minimizes their sum — so swapping the backend re-shapes the curves
+//! without touching any code below this point.
 
 use crate::global::{optimize_partition, EnergyCurve};
 use crate::local::LocalPlan;

@@ -29,6 +29,8 @@
 use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
 use crate::workload::{Scenario, Workload};
 use std::collections::HashMap;
+use std::sync::Arc;
+use triad_energy::{EnergyBackend, EnergyBackendConfig};
 use triad_phasedb::{DbConfig, DbStore, PhaseDb};
 use triad_rm::{ModelKind, RmKind};
 use triad_trace::AppSpec;
@@ -56,6 +58,9 @@ pub struct ExperimentSpec {
     pub target_intervals: usize,
     /// Workload-generation seed, recorded for provenance.
     pub seed: u64,
+    /// Energy-accounting backend the run is evaluated under; recorded in
+    /// every report row so archived results stay attributable.
+    pub energy: EnergyBackendConfig,
 }
 
 impl ExperimentSpec {
@@ -72,6 +77,7 @@ impl ExperimentSpec {
             overheads: true,
             target_intervals: max_suite_intervals(),
             seed: 0,
+            energy: EnergyBackendConfig::Parametric,
         }
     }
 
@@ -128,6 +134,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Select the energy-accounting backend.
+    pub fn energy_backend(mut self, energy: EnergyBackendConfig) -> Self {
+        self.energy = energy;
+        self
+    }
+
     /// Number of cores (one application per core).
     pub fn n_cores(&self) -> usize {
         self.apps.len()
@@ -144,9 +156,10 @@ impl ExperimentSpec {
 
     /// The memoization key of this spec's idle-RM reference: the idle run
     /// is independent of controller, model, α and overheads (the RM is
-    /// never invoked), so only the workload and horizon matter.
-    fn baseline_key(&self) -> (Vec<String>, usize) {
-        (self.apps.clone(), self.target_intervals)
+    /// never invoked), so only the workload, the horizon and the energy
+    /// backend the joules are counted under matter.
+    fn baseline_key(&self) -> BaselineKey {
+        (self.apps.clone(), self.target_intervals, self.energy.clone())
     }
 
     /// Canonical JSON form.
@@ -164,12 +177,16 @@ impl ExperimentSpec {
             .set("cores", self.n_cores())
             .set("rm", self.rm.map(|r| r.label()).unwrap_or("idle"))
             .set("model", model_label(self.model))
+            .set("energy_backend", self.energy.label())
             .set("alpha", self.alpha)
             .set("overheads", self.overheads)
             .set("target_intervals", self.target_intervals)
             .set("seed", self.seed)
     }
 }
+
+/// Memoization key of an idle-RM reference run.
+type BaselineKey = (Vec<String>, usize, EnergyBackendConfig);
 
 /// Display label for a predictor flavor.
 pub fn model_label(model: SimModel) -> &'static str {
@@ -264,9 +281,30 @@ impl Campaign {
     /// runs the specs in parallel against the memoized baselines. Both the
     /// row order and every number in it are independent of the thread
     /// count.
+    ///
+    /// Panics when a spec's energy backend cannot be built (missing table
+    /// file, unknown technology node) — `triad-bench` validates configs
+    /// before campaigns start.
     pub fn run(&self, db: &PhaseDb) -> Vec<CampaignRow> {
+        // Build each distinct energy backend exactly once, up front: workers
+        // share it via `Arc`, so a table file is read and parsed once per
+        // campaign (and a file vanishing mid-campaign cannot fail a worker).
+        let mut backends: Vec<(EnergyBackendConfig, Arc<dyn EnergyBackend>)> = Vec::new();
+        for spec in &self.specs {
+            if !backends.iter().any(|(c, _)| c == &spec.energy) {
+                let built = spec
+                    .energy
+                    .build()
+                    .unwrap_or_else(|e| panic!("energy backend {}: {e}", spec.energy.label()));
+                backends.push((spec.energy.clone(), Arc::from(built)));
+            }
+        }
+        let backend_for = |energy: &EnergyBackendConfig| -> Arc<dyn EnergyBackend> {
+            backends.iter().find(|(c, _)| c == energy).expect("pre-built above").1.clone()
+        };
+
         // Deduplicate idle-baseline keys in first-seen order.
-        let mut keys: Vec<(Vec<String>, usize)> = Vec::new();
+        let mut keys: Vec<BaselineKey> = Vec::new();
         for spec in &self.specs {
             let key = spec.baseline_key();
             if !keys.contains(&key) {
@@ -274,14 +312,13 @@ impl Campaign {
             }
         }
 
-        let idle_results = par::par_map(&keys, self.threads, |(apps, target)| {
+        let idle_results = par::par_map(&keys, self.threads, |(apps, target, energy)| {
             let names: Vec<&str> = apps.iter().map(String::as_str).collect();
             let mut cfg = SimConfig::idle();
             cfg.target_intervals = *target;
-            Simulator::new(db, names.len(), cfg).run(&names)
+            Simulator::with_backend(db, names.len(), cfg, backend_for(energy)).run(&names)
         });
-        let baselines: HashMap<&(Vec<String>, usize), &SimResult> =
-            keys.iter().zip(&idle_results).collect();
+        let baselines: HashMap<&BaselineKey, &SimResult> = keys.iter().zip(&idle_results).collect();
 
         par::par_map(&self.specs, self.threads, |spec| {
             let idle = baselines[&spec.baseline_key()];
@@ -290,7 +327,13 @@ impl Campaign {
                 (*idle).clone()
             } else {
                 let names: Vec<&str> = spec.apps.iter().map(String::as_str).collect();
-                Simulator::new(db, names.len(), spec.sim_config()).run(&names)
+                Simulator::with_backend(
+                    db,
+                    names.len(),
+                    spec.sim_config(),
+                    backend_for(&spec.energy),
+                )
+                .run(&names)
             };
             let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
             let violation_rate = if result.intervals_checked > 0 {

@@ -14,8 +14,9 @@
 //! the uncore (LLC + NoC) energy accrues until the end of the simulation.
 
 use crate::perfect::PerfectModel;
+use std::sync::Arc;
 use triad_arch::{CoreId, Setting, SystemConfig, DVFS_TRANSITION_ENERGY_J, DVFS_TRANSITION_TIME_S};
-use triad_energy::{resize_drain_time_s, EnergyModel};
+use triad_energy::{resize_drain_time_s, EnergyBackend, EnergyBackendConfig, EnergyModel};
 use triad_mem::DramParams;
 use triad_phasedb::{AppDbEntry, PhaseDb, PhaseRecord};
 use triad_rm::{
@@ -159,7 +160,7 @@ impl<'a> Core<'a> {
     }
 
     /// Ground-truth joules/instruction at the current setting.
-    fn epi(&self, sys: &SystemConfig, em: &EnergyModel) -> f64 {
+    fn epi(&self, sys: &SystemConfig, em: &dyn EnergyBackend) -> f64 {
         let vf = sys.dvfs.point(self.setting.vf);
         self.record().energy_pi(self.setting.core, vf, self.setting.ways, em)
     }
@@ -176,8 +177,10 @@ pub struct Simulator<'a> {
     pub sys: SystemConfig,
     /// Detailed-simulation database.
     pub db: &'a PhaseDb,
-    /// Power/energy model.
-    pub em: EnergyModel,
+    /// Power/energy accounting backend (both the ground-truth bookkeeping
+    /// and the online RM's predictions go through it). Shared so campaigns
+    /// build each distinct backend — and read any table file — once.
+    pub em: Arc<dyn EnergyBackend>,
     /// Run configuration.
     pub cfg: SimConfig,
     /// Memory latency for the online models (Eq. 2), seconds.
@@ -185,15 +188,43 @@ pub struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    /// Create a simulator for an `n_cores` Table I system.
+    /// Create a simulator for an `n_cores` Table I system with the default
+    /// (McPAT-parametric) energy backend.
     pub fn new(db: &'a PhaseDb, n_cores: usize, cfg: SimConfig) -> Self {
         Simulator {
             sys: SystemConfig::table1(n_cores),
             db,
-            em: EnergyModel::default_model(),
+            em: Arc::new(EnergyModel::default_model()),
             cfg,
             lmem_s: DramParams::table1().base_latency_s,
         }
+    }
+
+    /// Create a simulator with an explicit energy backend.
+    ///
+    /// Panics when `energy` describes a backend that cannot be built (a
+    /// missing table file, an unknown node) — callers that need graceful
+    /// handling should [`EnergyBackendConfig::build`] first and use
+    /// [`Simulator::with_backend`].
+    pub fn with_energy_config(
+        db: &'a PhaseDb,
+        n_cores: usize,
+        cfg: SimConfig,
+        energy: &EnergyBackendConfig,
+    ) -> Self {
+        let em =
+            energy.build().unwrap_or_else(|e| panic!("energy backend {}: {e}", energy.label()));
+        Self::with_backend(db, n_cores, cfg, Arc::from(em))
+    }
+
+    /// Create a simulator around an already-constructed backend.
+    pub fn with_backend(
+        db: &'a PhaseDb,
+        n_cores: usize,
+        cfg: SimConfig,
+        em: Arc<dyn EnergyBackend>,
+    ) -> Self {
+        Simulator { em, ..Self::new(db, n_cores, cfg) }
     }
 
     /// Run a workload (one application name per core) to completion.
@@ -257,7 +288,7 @@ impl<'a> Simulator<'a> {
                     // Prorate the crossing interval so energy is counted
                     // exactly up to the target instruction count.
                     let countable = (target_insts - c.total_insts).clamp(0.0, insts);
-                    c.energy_j += countable * c.epi(&self.sys, &self.em);
+                    c.energy_j += countable * c.epi(&self.sys, self.em.as_ref());
                     if c.total_insts + insts >= target_insts {
                         c.counting = false;
                     }
@@ -348,7 +379,7 @@ impl<'a> Simulator<'a> {
                     },
                     kind: mk,
                     grid: &self.sys.dvfs,
-                    energy: &self.em,
+                    energy: self.em.as_ref(),
                     lmem_s: self.lmem_s,
                 };
                 local_optimize(
@@ -367,7 +398,7 @@ impl<'a> Simulator<'a> {
                 let model = PerfectModel {
                     next: &cores[j].entry.records[next_phase],
                     grid: &self.sys.dvfs,
-                    energy: &self.em,
+                    energy: self.em.as_ref(),
                 };
                 local_optimize(
                     &model,
@@ -429,7 +460,7 @@ impl<'a> Simulator<'a> {
             let t = rm_insts * tpi;
             c.stall_s += t;
             if c.counting {
-                c.energy_j += rm_insts * c.epi(&self.sys, &self.em);
+                c.energy_j += rm_insts * c.epi(&self.sys, self.em.as_ref());
             }
         }
         // The new interval of the finishing core starts at the new setting.
@@ -482,7 +513,7 @@ mod tests {
             .iter()
             .map(|n| {
                 let rec = &db.app(n).unwrap().records[0];
-                target * rec.energy_pi(b.core, vf, b.ways, &sim.em)
+                target * rec.energy_pi(b.core, vf, b.ways, sim.em.as_ref())
             })
             .sum();
         assert!(

@@ -34,5 +34,5 @@ pub mod workload;
 pub use campaign::{Campaign, CampaignRow, ExperimentSpec};
 pub use engine::{SimConfig, SimModel, SimResult, Simulator};
 pub use perfect::PerfectModel;
-pub use qos_eval::{evaluate_models, QosEvaluation};
+pub use qos_eval::{evaluate_models, evaluate_models_with, QosEvaluation};
 pub use workload::{generate_workloads, scenario_of_pair, Scenario, Workload};

@@ -8,7 +8,7 @@
 //! cost of modeling error.
 
 use triad_arch::{DvfsGrid, Setting};
-use triad_energy::EnergyModel;
+use triad_energy::EnergyBackend;
 use triad_phasedb::PhaseRecord;
 use triad_rm::IntervalModel;
 
@@ -18,8 +18,8 @@ pub struct PerfectModel<'a> {
     pub next: &'a PhaseRecord,
     /// DVFS grid.
     pub grid: &'a DvfsGrid,
-    /// Energy model.
-    pub energy: &'a EnergyModel,
+    /// Energy backend the ground-truth joules are computed under.
+    pub energy: &'a dyn EnergyBackend,
 }
 
 impl<'a> IntervalModel for PerfectModel<'a> {
@@ -44,7 +44,7 @@ mod tests {
         let db = build_apps(&apps, &DbConfig::fast());
         let rec = &db.apps[0].records[0];
         let grid = DvfsGrid::table1();
-        let em = EnergyModel::default_model();
+        let em = triad_energy::EnergyModel::default_model();
         let m = PerfectModel { next: rec, grid: &grid, energy: &em };
         for w in [2usize, 8, 16] {
             for vf in [0usize, 4, 9] {

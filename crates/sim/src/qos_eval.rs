@@ -21,7 +21,7 @@
 //! `(c, f, w)` grid.
 
 use triad_arch::{CoreSize, Setting, SystemConfig};
-use triad_energy::EnergyModel;
+use triad_energy::{EnergyBackend, EnergyModel};
 use triad_mem::DramParams;
 use triad_phasedb::{PhaseDb, W_MAX, W_MIN};
 use triad_rm::{IntervalModel, ModelKind, Observation, OnlineModel};
@@ -55,9 +55,23 @@ const N_BINS: usize = 20;
 /// Histogram bin width.
 const BIN_WIDTH: f64 = 0.025;
 
-/// Evaluate one model over the whole database.
+/// Evaluate one model over the whole database under the default
+/// (McPAT-parametric) energy backend.
 pub fn evaluate_model(db: &PhaseDb, kind: ModelKind, sys: &SystemConfig) -> QosEvaluation {
-    let em = EnergyModel::default_model();
+    evaluate_model_with(db, kind, sys, &EnergyModel::default_model())
+}
+
+/// Evaluate one model under an explicit energy backend. The violation
+/// *probability* is a pure timing property, but which targets the RM
+/// "would select" is checked through the same model object a real run
+/// builds, so the backend is threaded for faithfulness (and so sweeps can
+/// report it as row provenance).
+pub fn evaluate_model_with(
+    db: &PhaseDb,
+    kind: ModelKind,
+    sys: &SystemConfig,
+    em: &dyn EnergyBackend,
+) -> QosEvaluation {
     let lmem = DramParams::table1().base_latency_s;
     let baseline = sys.baseline_setting();
     let bvf = sys.dvfs.point(baseline.vf);
@@ -88,7 +102,7 @@ pub fn evaluate_model(db: &PhaseDb, kind: ModelKind, sys: &SystemConfig) -> QosE
                         },
                         kind,
                         grid: &sys.dvfs,
-                        energy: &em,
+                        energy: em,
                         lmem_s: lmem,
                     };
                     let (t_pred_base, _) = model.predict(baseline);
@@ -142,6 +156,15 @@ pub fn evaluate_model(db: &PhaseDb, kind: ModelKind, sys: &SystemConfig) -> QosE
 /// Evaluate all three online models (Fig. 7).
 pub fn evaluate_models(db: &PhaseDb, sys: &SystemConfig) -> Vec<(ModelKind, QosEvaluation)> {
     ModelKind::ALL.iter().map(|&k| (k, evaluate_model(db, k, sys))).collect()
+}
+
+/// Evaluate all three online models under an explicit energy backend.
+pub fn evaluate_models_with(
+    db: &PhaseDb,
+    sys: &SystemConfig,
+    em: &dyn EnergyBackend,
+) -> Vec<(ModelKind, QosEvaluation)> {
+    ModelKind::ALL.iter().map(|&k| (k, evaluate_model_with(db, k, sys, em))).collect()
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //!   round-trip losslessly.
 //! * [`hash`] — std-only SHA-256 plus a canonical [`hash::Fingerprint`]
 //!   builder, the basis of the content-addressed phase-database store.
-//! * [`bench`] — a tiny wall-clock measurement harness for the
+//! * [`mod@bench`] — a tiny wall-clock measurement harness for the
 //!   `harness = false` benches.
 
 pub mod bench;
