@@ -1,0 +1,65 @@
+//! Out-of-order timing-model inner-loop cost per simulated RM interval.
+//!
+//! The ROADMAP's hot-path item: database builds are dominated by
+//! `triad_uarch::simulate` — every phase runs it over the whole
+//! (core size × frequency × ways) grid, and each call replays one
+//! detailed interval (the scaled 100M-instruction window). This bench
+//! measures exactly that unit — one `simulate` call over a default-quality
+//! detailed window — for a memory-bound and a compute-bound phase, and
+//! reports ns/instruction so later SoA/SIMD work has a recorded baseline.
+//! Run with `cargo bench -p triad-bench --bench timing_model`.
+
+use std::hint::black_box;
+use std::time::Duration;
+use triad_arch::{CacheGeometry, CoreSize};
+use triad_cache::classify_warm;
+use triad_phasedb::DbConfig;
+use triad_uarch::{simulate, TimingConfig};
+use triad_util::bench::bench;
+
+/// Baseline recorded on the reference dev box (2026-07-28, release build):
+/// the out-of-order inner loop retires roughly this many ns/instruction.
+/// Not asserted tightly — hardware varies — but a >50× regression fails.
+const BASELINE_NS_PER_INST: f64 = 35.0;
+
+fn main() {
+    let cfg = DbConfig::default_config();
+    let geom = CacheGeometry::table1_scaled(4, cfg.scale);
+    let budget = Duration::from_secs(2);
+
+    let mut worst_ns = 0.0f64;
+    for name in ["mcf", "povray"] {
+        let app = triad_trace::suite().into_iter().find(|a| a.name == name).unwrap();
+        let phase = app.phases[0].scaled(cfg.scale as u64);
+        let trace = phase.generate(cfg.warmup + cfg.detail, cfg.seed);
+        let ct = classify_warm(&trace, &geom, cfg.warmup);
+        let detailed = &trace.insts[cfg.warmup..];
+
+        // The paper's baseline operating point: medium core, 2 GHz, 8 ways.
+        let tc = TimingConfig::table1(CoreSize::M, 2.0e9, 8);
+        let m = bench(
+            &format!("timing_model/interval_{name}"),
+            Some(detailed.len() as u64),
+            budget,
+            || {
+                black_box(simulate(detailed, &ct, &tc));
+            },
+        );
+        let ns_per_inst = m.secs_per_iter * 1e9 / detailed.len() as f64;
+        println!(
+            "timing_model/interval_{name:<24} {:>8.1} ns/inst  ({} insts/interval)",
+            ns_per_inst,
+            detailed.len()
+        );
+        worst_ns = worst_ns.max(ns_per_inst);
+    }
+    println!(
+        "timing_model/baseline                    {BASELINE_NS_PER_INST:>8.1} ns/inst \
+         (recorded 2026-07-28)"
+    );
+    assert!(
+        worst_ns < BASELINE_NS_PER_INST * 50.0,
+        "out-of-order inner loop regressed catastrophically: {worst_ns:.1} ns/inst \
+         vs recorded baseline {BASELINE_NS_PER_INST:.1}"
+    );
+}

@@ -15,6 +15,7 @@ use crate::resolve_db;
 use triad_energy::EnergyBackendConfig;
 use triad_phasedb::{DbConfig, DbStore};
 use triad_sim::campaign::{parse_model, parse_rm, ExperimentSpec};
+use triad_sim::workload::WorkloadSpec;
 
 const USAGE: &str = "\
 triad-bench — campaign-driven experiment harness
@@ -24,7 +25,9 @@ USAGE:
 
 EXPERIMENTS:
     table1, table2, fig1, fig2, fig6, fig7, fig8, fig9, overheads, custom,
-    energy-sweep (rerun one workload across every energy backend)
+    energy-sweep (rerun one workload across every energy backend),
+    workload-sweep (RM3 on every dynamic-workload kind per scenario),
+    churn (per-core multiprogramming with mid-run app replacement)
 
 OPTIONS:
     -e, --experiment <NAME>   which experiment to run (required)
@@ -42,7 +45,10 @@ OPTIONS:
                               (nodes: 32nm, 22nm, 14nm, 7nm) [default: mcpat]
         --energy-table <PATH> shorthand for --energy-backend table:<PATH>; for energy-sweep,
                               the measured table to sweep (default: a table sampled from mcpat)
-        --apps <A,B,..>       custom/energy-sweep: one application per core
+        --apps <A,B,..>       custom/energy-sweep: one application per core;
+                              churn: the app pool replacements draw from
+        --workload <PATH>     custom: run a dynamic workload spec (JSON, see the
+                              README \"Workloads\" section) instead of --apps
         --rm <KIND>           custom: idle | rm1 | rm2 | rm3 | rm3full [default: rm3]
         --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
         --alpha <X>           custom: QoS slack factor [default: 1.0]
@@ -66,6 +72,7 @@ pub struct Args {
     pub energy_backend: Option<String>,
     pub energy_table: Option<String>,
     pub apps: Vec<String>,
+    pub workload: Option<String>,
     pub rm: String,
     pub model: String,
     pub alpha: f64,
@@ -88,6 +95,7 @@ impl Default for Args {
             energy_backend: None,
             energy_table: None,
             apps: Vec::new(),
+            workload: None,
             rm: "rm3".into(),
             model: "model3".into(),
             alpha: 1.0,
@@ -131,6 +139,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--apps" => {
                 args.apps = value(&mut it, a)?.split(',').map(|s| s.trim().to_string()).collect()
             }
+            "--workload" => args.workload = Some(value(&mut it, a)?),
             "--rm" => args.rm = value(&mut it, a)?,
             "--model" => args.model = value(&mut it, a)?,
             "--alpha" => {
@@ -185,7 +194,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         intervals: args.intervals.or(if args.fast { Some(32) } else { None }),
         energy: energy_cfg.clone(),
     };
-    const EXPERIMENTS: [&str; 11] = [
+    const EXPERIMENTS: [&str; 13] = [
         "table1",
         "table2",
         "fig1",
@@ -197,6 +206,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         "overheads",
         "custom",
         "energy-sweep",
+        "workload-sweep",
+        "churn",
     ];
     if !EXPERIMENTS.contains(&args.experiment.as_str()) {
         return Err(format!("unknown experiment {}\n\n{USAGE}", args.experiment));
@@ -225,21 +236,77 @@ pub fn run(args: &Args) -> Result<(), String> {
     } else {
         args.apps.clone()
     };
-    let needs_apps = matches!(args.experiment.as_str(), "custom" | "energy-sweep");
-    let custom_rm_model = if needs_apps {
-        let apps = if args.experiment == "custom" { &args.apps } else { &sweep_apps };
-        if apps.len() < 2 {
+    // A dynamic workload spec file replaces --apps for `custom`; validate
+    // it (parse + materialize) before paying for the database.
+    let workload_spec: Option<WorkloadSpec> = match &args.workload {
+        Some(path) => {
+            if args.experiment != "custom" {
+                return Err(format!(
+                    "--workload only applies to the custom experiment \
+                     (the {} preset generates its own workloads)",
+                    args.experiment
+                ));
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--workload {path}: {e}"))?;
+            let json = triad_util::json::parse(&text)
+                .map_err(|e| format!("--workload {path}: invalid JSON: {e:?}"))?;
+            let spec =
+                WorkloadSpec::from_json(&json).map_err(|e| format!("--workload {path}: {e}"))?;
+            spec.materialize().map_err(|e| format!("--workload {path}: {e}"))?;
+            Some(spec)
+        }
+        None => None,
+    };
+    if args.experiment == "custom" && workload_spec.is_some() && !args.apps.is_empty() {
+        return Err("--workload and --apps conflict for custom: the workload spec \
+             defines the applications (put an explicit list in a static spec)"
+            .to_string());
+    }
+    let check_apps = |apps: &[String]| -> Result<(), String> {
+        match apps.iter().find(|n| triad_trace::by_name(n).is_none()) {
+            Some(bad) => {
+                let known: Vec<&str> = triad_trace::suite().iter().map(|a| a.name).collect();
+                Err(format!("unknown application {bad}; the suite contains: {}", known.join(", ")))
+            }
+            None => Ok(()),
+        }
+    };
+    // The workload presets generate §IV-C mixes, so they need an even
+    // system width — except churn over an explicit pool, which samples
+    // per core. Fail here, before paying for the database.
+    if matches!(args.experiment.as_str(), "workload-sweep" | "churn") {
+        let n = args.cores.unwrap_or(4);
+        let needs_even = args.experiment == "workload-sweep" || args.apps.is_empty();
+        if needs_even && (n < 2 || !n.is_multiple_of(2)) {
             return Err(format!(
-                "{} experiments need --apps with at least two names",
+                "--experiment {} generates §IV-C mixes and needs an even --cores ≥ 2 \
+                 (got {n}); churn with an explicit --apps pool accepts any width",
                 args.experiment
             ));
         }
-        if let Some(bad) = apps.iter().find(|n| triad_trace::by_name(n).is_none()) {
-            let known: Vec<&str> = triad_trace::suite().iter().map(|a| a.name).collect();
-            return Err(format!(
-                "unknown application {bad}; the suite contains: {}",
-                known.join(", ")
-            ));
+        if n == 0 {
+            return Err("--cores must be at least 1".into());
+        }
+        // The churn preset accepts --apps as an optional replacement pool.
+        check_apps(&args.apps)?;
+    }
+    let needs_apps = match args.experiment.as_str() {
+        "custom" => workload_spec.is_none(),
+        "energy-sweep" => true,
+        _ => false,
+    };
+    let needs_rm_model = matches!(args.experiment.as_str(), "custom" | "energy-sweep");
+    let custom_rm_model = if needs_rm_model {
+        if needs_apps {
+            let apps = if args.experiment == "custom" { &args.apps } else { &sweep_apps };
+            if apps.len() < 2 {
+                return Err(format!(
+                    "{} experiments need --apps with at least two names",
+                    args.experiment
+                ));
+            }
+            check_apps(apps)?;
         }
         let rm = parse_rm(&args.rm).ok_or_else(|| format!("unknown --rm {}", args.rm))?;
         let model =
@@ -281,16 +348,40 @@ pub fn run(args: &Args) -> Result<(), String> {
                 &sweep_opts,
             )
         }
+        "workload-sweep" => {
+            reports::workload_sweep(db.unwrap(), args.cores.unwrap_or(4), args.seed, &run_opts)
+        }
+        "churn" => {
+            reports::churn(db.unwrap(), args.cores.unwrap_or(4), args.seed, &args.apps, &run_opts)
+        }
         "custom" => {
             let (rm, model) = custom_rm_model.expect("validated above");
-            let names: Vec<&str> = args.apps.iter().map(String::as_str).collect();
-            let spec = ExperimentSpec::new(format!("custom/{}", args.apps.join("+")), &names)
-                .rm(rm)
-                .model(model)
-                .alpha(args.alpha)
-                .overheads(!args.no_overheads)
-                .seed(args.seed);
-            reports::custom(db.unwrap(), spec, &run_opts)
+            match &workload_spec {
+                Some(wl) => {
+                    let spec = ExperimentSpec::for_workload_spec(
+                        format!("custom/{}", wl.label()),
+                        wl.clone(),
+                    )
+                    .expect("workload validated above")
+                    .rm(rm)
+                    .model(model)
+                    .alpha(args.alpha)
+                    .overheads(!args.no_overheads)
+                    .seed(args.seed);
+                    reports::workload_report(db.unwrap(), spec, wl, &run_opts)
+                }
+                None => {
+                    let names: Vec<&str> = args.apps.iter().map(String::as_str).collect();
+                    let spec =
+                        ExperimentSpec::new(format!("custom/{}", args.apps.join("+")), &names)
+                            .rm(rm)
+                            .model(model)
+                            .alpha(args.alpha)
+                            .overheads(!args.no_overheads)
+                            .seed(args.seed);
+                    reports::custom(db.unwrap(), spec, &run_opts)
+                }
+            }
         }
         _ => unreachable!("experiment name validated against EXPERIMENTS above"),
     };

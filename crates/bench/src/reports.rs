@@ -30,8 +30,8 @@ use triad_sim::experiments::{
     fold_model_comparisons, scenario_means, RmComparison,
 };
 use triad_sim::workload::{
-    cell_probability, generate_workloads, scenario_of_pair, scenario_probability, Scenario,
-    Workload,
+    cell_probability, generate_workloads, scenario_of_pair, scenario_probability, ArrivalProcess,
+    Scenario, Stage, Workload, WorkloadSpec,
 };
 use triad_sim::{evaluate_models_with, SimConfig, SimModel, Simulator};
 use triad_trace::Category;
@@ -709,6 +709,356 @@ pub fn energy_sweep(
         .set("apps", apps.iter().map(|s| s.to_string()).collect::<Vec<_>>())
         .set("seed", seed)
         .set("backends", Json::Arr(summary))
+        .set("campaign", Campaign::report(&rows))
+        .set("timing", timing)
+}
+
+/// One dynamic-workload campaign row rendered for the workload reports.
+fn workload_row_json(kind: &str, scenario: Option<Scenario>, row: &CampaignRow) -> Json {
+    Json::obj()
+        .set("kind", kind)
+        .set(
+            "scenario",
+            match scenario {
+                Some(s) => Json::from(s.label()),
+                None => Json::from("census"),
+            },
+        )
+        .set("name", row.spec.name.clone())
+        .set("workload_fingerprint", row.spec.workload_fingerprint())
+        .set("apps", row.spec.apps.clone())
+        .set("savings", row.savings)
+        .set("violation_rate", row.violation_rate)
+        .set("total_energy_j", row.result.total_energy_j)
+        .set("idle_energy_j", row.idle_energy_j)
+        .set("vacancy_energy_j", row.result.vacancy_energy_j)
+        .set("arrivals", row.result.arrivals)
+        .set("departures", row.result.departures)
+}
+
+/// Assert a workload campaign produced sane numbers: every reported rate
+/// and joule is finite (no NaN rows reach a report or the CI smoke step).
+fn assert_workload_rows_finite(rows: &[CampaignRow]) {
+    for row in rows {
+        for (label, x) in [
+            ("savings", row.savings),
+            ("violation_rate", row.violation_rate),
+            ("total_energy_j", row.result.total_energy_j),
+            ("idle_energy_j", row.idle_energy_j),
+            ("vacancy_energy_j", row.result.vacancy_energy_j),
+            ("sim_time_s", row.result.sim_time_s),
+        ] {
+            assert!(x.is_finite(), "{}: non-finite {label} ({x})", row.spec.name);
+        }
+    }
+}
+
+/// An ad-hoc campaign over one dynamic workload spec (`--workload`):
+/// RM-vs-idle on the same materialized trace.
+pub fn workload_report(
+    db: &PhaseDb,
+    spec: ExperimentSpec,
+    workload: &WorkloadSpec,
+    opts: &RunOptions,
+) -> Json {
+    let (rows, timing) = run_campaign(db, vec![spec], opts);
+    assert_workload_rows_finite(&rows);
+    let row = &rows[0];
+    println!("WORKLOAD EXPERIMENT: {}", row.spec.name);
+    println!("==================================");
+    println!("workload:        {} ({})", workload.label(), row.spec.workload_fingerprint());
+    println!("apps (union):    {}", row.spec.apps.join(","));
+    println!("controller:      {}", row.spec.rm.map(|r| r.label()).unwrap_or("idle"));
+    println!("model:           {}", model_label(row.spec.model));
+    println!(
+        "energy:          {:.2} J (idle reference {:.2} J, vacancy {:.3} J)",
+        row.result.total_energy_j, row.idle_energy_j, row.result.vacancy_energy_j
+    );
+    println!("savings:         {}", pct(row.savings));
+    println!(
+        "QoS violations:  {}/{} ({})",
+        row.result.qos_violations,
+        row.result.intervals_checked,
+        pct(row.violation_rate)
+    );
+    println!(
+        "arrivals:        {} ({} departures, {} RM invocations)",
+        row.result.arrivals, row.result.departures, row.result.rm_invocations
+    );
+    // Trace-weighted Fig. 7 statistics: the model's violation probability
+    // under *this* workload's phase occupancy (qos_eval stepping through
+    // the trace) rather than the uniform whole-suite average.
+    let trace_qos = match row.spec.model {
+        SimModel::Online(mk) => {
+            let sys = SystemConfig::table1(row.spec.n_cores());
+            let em = row.spec.energy.build().expect("energy backend validated by the CLI");
+            let e = triad_sim::evaluate_model_on_trace(
+                db,
+                &row.spec.workload_trace(),
+                mk,
+                &sys,
+                em.as_ref(),
+            );
+            println!(
+                "trace-weighted QoS ({}): P(violation) {:.2}%, E[violation] {:.2}%",
+                mk.label(),
+                e.probability * 100.0,
+                e.expected_violation * 100.0
+            );
+            Json::obj()
+                .set("model", mk.label())
+                .set("probability", e.probability)
+                .set("expected_violation", e.expected_violation)
+        }
+        SimModel::Perfect => Json::Null,
+    };
+    Json::obj()
+        .set("experiment", "workload")
+        .set("workload", workload.to_json())
+        .set("row", workload_row_json(workload.label(), row.spec.scenario, row))
+        .set("trace_qos", trace_qos)
+        .set("campaign", Campaign::report(&rows))
+        .set("timing", timing)
+}
+
+/// The dynamic-workload specs the `workload-sweep` preset evaluates: every
+/// generator kind per scenario, plus the census-wide bursty-MMPP and
+/// scaled-suite programs.
+fn sweep_workloads(
+    n_cores: usize,
+    seed: u64,
+    per_core: u64,
+) -> Vec<(Option<Scenario>, WorkloadSpec)> {
+    let horizon = per_core * n_cores as u64;
+    let stage = (horizon / 3).max(1);
+    let period = (per_core / 2).max(2);
+    let mut out = Vec::new();
+    for (i, s) in Scenario::ALL.into_iter().enumerate() {
+        let scen_seed = seed.wrapping_add(i as u64);
+        out.push((Some(s), WorkloadSpec::Steady { n_cores, scenario: Some(s), seed: scen_seed }));
+        out.push((
+            Some(s),
+            WorkloadSpec::Phased {
+                n_cores,
+                seed: scen_seed,
+                stages: vec![
+                    Stage { scenario: Some(s), intervals: stage },
+                    Stage { scenario: Some(s), intervals: stage },
+                    Stage { scenario: Some(s), intervals: stage },
+                ],
+            },
+        ));
+        out.push((
+            Some(s),
+            WorkloadSpec::Bursty {
+                n_cores,
+                seed: scen_seed,
+                arrival: ArrivalProcess::Poisson { mean_gap: (per_core as f64 / 8.0).max(1.0) },
+                mean_service: (horizon / 4).max(2),
+                horizon,
+                scenario: Some(s),
+            },
+        ));
+        out.push((
+            Some(s),
+            WorkloadSpec::Churn {
+                n_cores,
+                seed: scen_seed,
+                period,
+                horizon,
+                scenario: Some(s),
+                pool: Vec::new(),
+            },
+        ));
+    }
+    out.push((
+        None,
+        WorkloadSpec::Bursty {
+            n_cores,
+            seed,
+            arrival: ArrivalProcess::Mmpp {
+                mean_gap: [per_core as f64, (per_core as f64 / 8.0).max(1.0)],
+                mean_dwell: [horizon as f64 / 4.0, horizon as f64 / 4.0],
+            },
+            mean_service: (horizon / 4).max(2),
+            horizon,
+            scenario: None,
+        },
+    ));
+    out.push((None, WorkloadSpec::Scaled { n_cores, seed, copies: 1, segment: per_core.max(2) }));
+    out
+}
+
+/// `workload-sweep`: run RM3 against the idle reference on one dynamic
+/// workload of every generator kind per scenario, reporting per-scenario
+/// energy savings and QoS-violation rates with the workload fingerprint on
+/// every row.
+pub fn workload_sweep(db: &PhaseDb, n_cores: usize, seed: u64, opts: &RunOptions) -> Json {
+    let per_core = opts.intervals.unwrap_or(48) as u64;
+    let workloads = sweep_workloads(n_cores, seed, per_core);
+    let specs: Vec<ExperimentSpec> = workloads
+        .iter()
+        .map(|(scenario, wl)| {
+            let label = match scenario {
+                Some(s) => format!("sweep/{}/{}", wl.label(), s.short()),
+                None => format!("sweep/{}/census", wl.label()),
+            };
+            ExperimentSpec::for_workload_spec(label, wl.clone())
+                .expect("sweep workloads materialize")
+                .scenario(*scenario)
+                .seed(seed)
+                .target_intervals(per_core as usize)
+        })
+        .collect();
+    let (rows, timing) = run_campaign(db, specs, opts);
+    assert_workload_rows_finite(&rows);
+
+    println!("WORKLOAD SWEEP ({n_cores}-core): RM3 savings per dynamic workload");
+    println!("=================================================================");
+    println!(
+        "{:<10} {:<12} {:>8} {:>9} {:>9} {:>9}  fingerprint",
+        "kind", "scenario", "savings", "viol.rate", "arrivals", "vacancy J"
+    );
+    let mut row_json = Vec::new();
+    for ((scenario, wl), row) in workloads.iter().zip(&rows) {
+        println!(
+            "{:<10} {:<12} {:>8} {:>9} {:>9} {:>9.3}  {}",
+            wl.label(),
+            scenario.map(|s| s.label()).unwrap_or("census"),
+            pct(row.savings),
+            pct(row.violation_rate),
+            row.result.arrivals,
+            row.result.vacancy_energy_j,
+            &row.spec.workload_fingerprint()[..12],
+        );
+        row_json.push(workload_row_json(wl.label(), *scenario, row));
+    }
+    println!("\nper-scenario means across the workload kinds (steady + dynamic):");
+    let mut scenario_json = Vec::new();
+    for s in Scenario::ALL {
+        let in_s: Vec<&CampaignRow> = workloads
+            .iter()
+            .zip(&rows)
+            .filter(|((sc, _), _)| *sc == Some(s))
+            .map(|(_, r)| r)
+            .collect();
+        if in_s.is_empty() {
+            continue;
+        }
+        let mean_savings = in_s.iter().map(|r| r.savings).sum::<f64>() / in_s.len() as f64;
+        let mean_viol = in_s.iter().map(|r| r.violation_rate).sum::<f64>() / in_s.len() as f64;
+        println!(
+            "  {:<12} savings {} violation rate {}",
+            s.label(),
+            pct(mean_savings),
+            pct(mean_viol)
+        );
+        scenario_json.push(
+            Json::obj()
+                .set("scenario", s.label())
+                .set("mean_savings", mean_savings)
+                .set("mean_violation_rate", mean_viol),
+        );
+    }
+    Json::obj()
+        .set("experiment", "workload-sweep")
+        .set("cores", n_cores)
+        .set("seed", seed)
+        .set("rows", Json::Arr(row_json))
+        .set("scenario_means", Json::Arr(scenario_json))
+        .set("campaign", Campaign::report(&rows))
+        .set("timing", timing)
+}
+
+/// `churn`: per-core multiprogramming with mid-run app replacement. With
+/// an explicit `pool` (the CI smoke path) one census-free workload runs;
+/// otherwise one churn workload per scenario. Asserts nonzero arrivals and
+/// finite (no-NaN) rows before reporting.
+pub fn churn(db: &PhaseDb, n_cores: usize, seed: u64, pool: &[String], opts: &RunOptions) -> Json {
+    let per_core = opts.intervals.unwrap_or(48) as u64;
+    let horizon = per_core * n_cores as u64;
+    let period = (per_core / 2).max(2);
+    let workloads: Vec<(Option<Scenario>, WorkloadSpec)> = if pool.is_empty() {
+        Scenario::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    Some(s),
+                    WorkloadSpec::Churn {
+                        n_cores,
+                        seed: seed.wrapping_add(i as u64),
+                        period,
+                        horizon,
+                        scenario: Some(s),
+                        pool: Vec::new(),
+                    },
+                )
+            })
+            .collect()
+    } else {
+        vec![(
+            None,
+            WorkloadSpec::Churn {
+                n_cores,
+                seed,
+                period,
+                horizon,
+                scenario: None,
+                pool: pool.to_vec(),
+            },
+        )]
+    };
+    let specs: Vec<ExperimentSpec> = workloads
+        .iter()
+        .map(|(scenario, wl)| {
+            let label = match scenario {
+                Some(s) => format!("churn/{}", s.short()),
+                None => format!("churn/pool:{}", pool.join("+")),
+            };
+            ExperimentSpec::for_workload_spec(label, wl.clone())
+                .expect("churn workloads materialize")
+                .scenario(*scenario)
+                .seed(seed)
+                .target_intervals(per_core as usize)
+        })
+        .collect();
+    let (rows, timing) = run_campaign(db, specs, opts);
+    assert_workload_rows_finite(&rows);
+    let total_arrivals: u64 = rows.iter().map(|r| r.result.arrivals).sum();
+    assert!(total_arrivals > 0, "churn campaign observed no arrivals");
+    let replacements: u64 =
+        rows.iter().map(|r| r.result.arrivals.saturating_sub(n_cores as u64)).sum();
+    assert!(replacements > 0, "churn campaign replaced no application mid-run");
+
+    println!("CHURN ({n_cores}-core, period ~{period} intervals, horizon {horizon})");
+    println!("==============================================================");
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>6}  fingerprint",
+        "workload", "savings", "viol.rate", "arrivals", "RMs"
+    );
+    let mut row_json = Vec::new();
+    for ((scenario, wl), row) in workloads.iter().zip(&rows) {
+        println!(
+            "{:<22} {:>8} {:>9} {:>9} {:>6}  {}",
+            row.spec.name,
+            pct(row.savings),
+            pct(row.violation_rate),
+            row.result.arrivals,
+            row.result.rm_invocations,
+            &row.spec.workload_fingerprint()[..12],
+        );
+        row_json.push(workload_row_json(wl.label(), *scenario, row));
+    }
+    println!("\n{total_arrivals} arrivals ({replacements} mid-run replacements); every RM");
+    println!("re-plan on a churn event cold-restarts the core's phase position");
+    Json::obj()
+        .set("experiment", "churn")
+        .set("cores", n_cores)
+        .set("seed", seed)
+        .set("arrivals", total_arrivals)
+        .set("replacements", replacements)
+        .set("rows", Json::Arr(row_json))
         .set("campaign", Campaign::report(&rows))
         .set("timing", timing)
 }

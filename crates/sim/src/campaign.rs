@@ -27,7 +27,7 @@
 //! minutes-scale detailed simulation entirely.
 
 use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
-use crate::workload::{Scenario, Workload};
+use crate::workload::{Scenario, Workload, WorkloadSpec, WorkloadTrace};
 use std::collections::HashMap;
 use std::sync::Arc;
 use triad_energy::{EnergyBackend, EnergyBackendConfig};
@@ -61,6 +61,11 @@ pub struct ExperimentSpec {
     /// Energy-accounting backend the run is evaluated under; recorded in
     /// every report row so archived results stay attributable.
     pub energy: EnergyBackendConfig,
+    /// Time-varying workload program, when the run is not a static app
+    /// list. `None` replays `apps` frozen at `t = 0` (the pre-subsystem
+    /// behavior); either way the materialized trace's fingerprint is
+    /// recorded in the row.
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl ExperimentSpec {
@@ -78,7 +83,26 @@ impl ExperimentSpec {
             target_intervals: max_suite_intervals(),
             seed: 0,
             energy: EnergyBackendConfig::Parametric,
+            workload: None,
         }
+    }
+
+    /// A spec over a dynamic [`WorkloadSpec`] with the headline defaults.
+    /// `apps` is filled with the union of applications the materialized
+    /// trace references (so campaigns resolve the right database), and the
+    /// simulator replays the trace instead of a static list.
+    ///
+    /// Fails when the workload spec cannot be materialized.
+    pub fn for_workload_spec(
+        name: impl Into<String>,
+        workload: WorkloadSpec,
+    ) -> Result<Self, String> {
+        let trace = workload.materialize()?;
+        let apps = trace.apps();
+        let refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+        let mut spec = Self::new(name, &refs);
+        spec.workload = Some(workload);
+        Ok(spec)
     }
 
     /// Spec for a generated [`Workload`].
@@ -140,9 +164,39 @@ impl ExperimentSpec {
         self
     }
 
-    /// Number of cores (one application per core).
+    /// Set the Fig. 1 scenario label recorded with the row.
+    pub fn scenario(mut self, scenario: Option<Scenario>) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Number of cores: the workload's system width, or (for static specs)
+    /// one application per core.
     pub fn n_cores(&self) -> usize {
-        self.apps.len()
+        match &self.workload {
+            Some(w) => w.n_cores(),
+            None => self.apps.len(),
+        }
+    }
+
+    /// The trace this spec replays: the materialized workload program, or
+    /// the static trace implied by `apps`.
+    ///
+    /// Panics on an unmaterializable workload — [`ExperimentSpec::for_workload_spec`]
+    /// and the CLI validate specs before campaigns start.
+    pub fn workload_trace(&self) -> WorkloadTrace {
+        match &self.workload {
+            Some(w) => w.materialize().unwrap_or_else(|e| {
+                panic!("spec {}: workload does not materialize: {e}", self.name)
+            }),
+            None => WorkloadTrace::steady(&self.apps),
+        }
+    }
+
+    /// Fingerprint of the materialized trace — the workload identity
+    /// recorded in every campaign row.
+    pub fn workload_fingerprint(&self) -> String {
+        self.workload_trace().fingerprint()
     }
 
     fn sim_config(&self) -> SimConfig {
@@ -152,14 +206,6 @@ impl ExperimentSpec {
         cfg.overheads = self.overheads;
         cfg.target_intervals = self.target_intervals;
         cfg
-    }
-
-    /// The memoization key of this spec's idle-RM reference: the idle run
-    /// is independent of controller, model, α and overheads (the RM is
-    /// never invoked), so only the workload, the horizon and the energy
-    /// backend the joules are counted under matter.
-    fn baseline_key(&self) -> BaselineKey {
-        (self.apps.clone(), self.target_intervals, self.energy.clone())
     }
 
     /// Canonical JSON form.
@@ -178,6 +224,7 @@ impl ExperimentSpec {
             .set("rm", self.rm.map(|r| r.label()).unwrap_or("idle"))
             .set("model", model_label(self.model))
             .set("energy_backend", self.energy.label())
+            .set("workload_fingerprint", self.workload_fingerprint())
             .set("alpha", self.alpha)
             .set("overheads", self.overheads)
             .set("target_intervals", self.target_intervals)
@@ -185,8 +232,9 @@ impl ExperimentSpec {
     }
 }
 
-/// Memoization key of an idle-RM reference run.
-type BaselineKey = (Vec<String>, usize, EnergyBackendConfig);
+/// Memoization key of an idle-RM reference run: the workload-trace
+/// fingerprint, the horizon, and the energy backend.
+type BaselineKey = (String, usize, EnergyBackendConfig);
 
 /// Display label for a predictor flavor.
 pub fn model_label(model: SimModel) -> &'static str {
@@ -303,37 +351,50 @@ impl Campaign {
             backends.iter().find(|(c, _)| c == energy).expect("pre-built above").1.clone()
         };
 
-        // Deduplicate idle-baseline keys in first-seen order.
-        let mut keys: Vec<BaselineKey> = Vec::new();
-        for spec in &self.specs {
-            let key = spec.baseline_key();
-            if !keys.contains(&key) {
-                keys.push(key);
+        // Materialize every spec's trace (and its fingerprint) exactly
+        // once: the baseline dedup, the idle runs and the spec runs all
+        // share them. The idle-RM reference is independent of controller,
+        // model, α and overheads (the RM is never invoked), so its
+        // memoization key is only the workload trace, the horizon and the
+        // energy backend the joules are counted under.
+        let traces: Vec<WorkloadTrace> = self.specs.iter().map(|s| s.workload_trace()).collect();
+        let keys: Vec<BaselineKey> = self
+            .specs
+            .iter()
+            .zip(&traces)
+            .map(|(s, t)| (t.fingerprint(), s.target_intervals, s.energy.clone()))
+            .collect();
+        // Deduplicate idle-baseline keys (with their traces) in first-seen
+        // order.
+        let mut keyed: Vec<(&BaselineKey, &WorkloadTrace)> = Vec::new();
+        for (key, trace) in keys.iter().zip(&traces) {
+            if !keyed.iter().any(|(k, _)| *k == key) {
+                keyed.push((key, trace));
             }
         }
 
-        let idle_results = par::par_map(&keys, self.threads, |(apps, target, energy)| {
-            let names: Vec<&str> = apps.iter().map(String::as_str).collect();
+        let idle_results = par::par_map(&keyed, self.threads, |(key, trace)| {
+            let (_, target, energy) = key;
             let mut cfg = SimConfig::idle();
             cfg.target_intervals = *target;
-            Simulator::with_backend(db, names.len(), cfg, backend_for(energy)).run(&names)
+            Simulator::with_backend(db, trace.n_cores, cfg, backend_for(energy)).run_trace(trace)
         });
-        let baselines: HashMap<&BaselineKey, &SimResult> = keys.iter().zip(&idle_results).collect();
+        let baselines: HashMap<&BaselineKey, &SimResult> =
+            keyed.iter().map(|(k, _)| *k).zip(&idle_results).collect();
 
-        par::par_map(&self.specs, self.threads, |spec| {
-            let idle = baselines[&spec.baseline_key()];
+        par::par_map_indexed(&self.specs, self.threads, |i, spec| {
+            let idle = baselines[&keys[i]];
             let result = if spec.rm.is_none() {
                 // The spec *is* its own baseline; reuse the memoized run.
                 (*idle).clone()
             } else {
-                let names: Vec<&str> = spec.apps.iter().map(String::as_str).collect();
                 Simulator::with_backend(
                     db,
-                    names.len(),
+                    traces[i].n_cores,
                     spec.sim_config(),
                     backend_for(&spec.energy),
                 )
-                .run(&names)
+                .run_trace(&traces[i])
             };
             let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
             let violation_rate = if result.intervals_checked > 0 {

@@ -13,9 +13,11 @@
 //!   the suite-maximum instruction count, plus uncore energy to the end);
 //! * [`perfect`] — the ground-truth interval model (database lookups of the
 //!   *next* interval), used for Fig. 2 and the "perfect" bars of Fig. 9;
-//! * [`workload`] — Fig. 1: category-mix cells, their probabilities
-//!   (`n_A·n_B/27²`), the scenario classes S1–S4 with weights
-//!   47/22.1/22.1/8.8 %, and the §IV-C random workload generator;
+//! * [`workload`] — re-export of the `triad-workload` crate: Fig. 1's
+//!   scenario taxonomy, the §IV-C generator, and the dynamic
+//!   [`workload::WorkloadSpec`]/[`workload::WorkloadTrace`] machinery the
+//!   simulator replays via [`Simulator::run_trace`] (arrivals, churn,
+//!   vacancy);
 //! * [`qos_eval`] — the Fig. 7/8 evaluation: violation probability,
 //!   expected magnitude and distribution over all phases × current ×
 //!   target settings, weighted by SimPoint phase weights;
@@ -34,5 +36,10 @@ pub mod workload;
 pub use campaign::{Campaign, CampaignRow, ExperimentSpec};
 pub use engine::{SimConfig, SimModel, SimResult, Simulator};
 pub use perfect::PerfectModel;
-pub use qos_eval::{evaluate_models, evaluate_models_with, QosEvaluation};
-pub use workload::{generate_workloads, scenario_of_pair, Scenario, Workload};
+pub use qos_eval::{
+    evaluate_model_on_trace, evaluate_models, evaluate_models_with, trace_app_weights,
+    QosEvaluation,
+};
+pub use workload::{
+    generate_workloads, scenario_of_pair, Scenario, Workload, WorkloadSpec, WorkloadTrace,
+};

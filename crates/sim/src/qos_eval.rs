@@ -25,6 +25,7 @@ use triad_energy::{EnergyBackend, EnergyModel};
 use triad_mem::DramParams;
 use triad_phasedb::{PhaseDb, W_MAX, W_MIN};
 use triad_rm::{IntervalModel, ModelKind, Observation, OnlineModel};
+use triad_workload::WorkloadTrace;
 
 /// Aggregated violation statistics for one model.
 #[derive(Debug, Clone)]
@@ -72,6 +73,59 @@ pub fn evaluate_model_with(
     sys: &SystemConfig,
     em: &dyn EnergyBackend,
 ) -> QosEvaluation {
+    let app_w = 1.0 / db.apps.len() as f64;
+    evaluate_model_weighted(db, kind, sys, em, &vec![app_w; db.apps.len()])
+}
+
+/// Evaluate one model with the application weights a [`WorkloadTrace`]
+/// implies: each application counts in proportion to the global intervals
+/// it occupies in the trace (churn replacements and vacancy windows shrink
+/// an application's share; applications absent from the trace contribute
+/// nothing). This is the Fig. 7/8 evaluation "stepped through" a dynamic
+/// workload instead of the uniform whole-suite average.
+pub fn evaluate_model_on_trace(
+    db: &PhaseDb,
+    trace: &WorkloadTrace,
+    kind: ModelKind,
+    sys: &SystemConfig,
+    em: &dyn EnergyBackend,
+) -> QosEvaluation {
+    evaluate_model_weighted(db, kind, sys, em, &trace_app_weights(db, trace))
+}
+
+/// Per-database-entry weights implied by a trace's scheduled occupancy
+/// (normalized to sum 1 over the applications the database knows).
+pub fn trace_app_weights(db: &PhaseDb, trace: &WorkloadTrace) -> Vec<f64> {
+    let durations = trace.app_durations();
+    let mut weights: Vec<f64> = db
+        .apps
+        .iter()
+        .map(|e| {
+            durations
+                .iter()
+                .find(|(name, _)| name.as_str() == e.spec.name)
+                .map(|(_, d)| *d as f64)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "trace references no application present in the database");
+    for w in &mut weights {
+        *w /= total;
+    }
+    weights
+}
+
+/// The shared evaluation core: iterate phases × current × target settings
+/// with an explicit per-application weight vector (aligned with
+/// `db.apps`, summing to 1).
+fn evaluate_model_weighted(
+    db: &PhaseDb,
+    kind: ModelKind,
+    sys: &SystemConfig,
+    em: &dyn EnergyBackend,
+    app_weights: &[f64],
+) -> QosEvaluation {
     let lmem = DramParams::table1().base_latency_s;
     let baseline = sys.baseline_setting();
     let bvf = sys.dvfs.point(baseline.vf);
@@ -82,8 +136,10 @@ pub fn evaluate_model_with(
     let mut sum2 = 0.0f64;
     let mut histogram = vec![0.0f64; N_BINS];
 
-    let app_w = 1.0 / db.apps.len() as f64;
-    for entry in &db.apps {
+    for (entry, &app_w) in db.apps.iter().zip(app_weights) {
+        if app_w == 0.0 {
+            continue;
+        }
         let weights = entry.spec.phase_weights();
         for (rec, &pw) in entry.records.iter().zip(&weights) {
             let t_act_base = rec.tpi(baseline.core, bvf.freq_hz, baseline.ways);
@@ -201,6 +257,71 @@ mod tests {
         let e = evaluate_model(&db, ModelKind::Model2, &sys);
         let mass: f64 = e.histogram.iter().sum();
         assert!((mass - e.probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_weights_reflect_scheduled_occupancy() {
+        use triad_workload::{EventKind, TraceEvent};
+        let db = db();
+        // A steady trace over a subset weights those apps equally and the
+        // rest zero.
+        let steady = WorkloadTrace::steady(&["mcf", "gcc"]);
+        let w = trace_app_weights(&db, &steady);
+        assert_eq!(w.len(), db.apps.len());
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (e, &x) in db.apps.iter().zip(&w) {
+            let expect = if ["mcf", "gcc"].contains(&e.spec.name) { 0.5 } else { 0.0 };
+            assert_eq!(x, expect, "{}", e.spec.name);
+        }
+        // A churn trace weights by occupied intervals: mcf holds core 0 for
+        // the whole 20-interval horizon, gcc/povray split core 1 12/8.
+        let churny = WorkloadTrace {
+            n_cores: 2,
+            horizon: Some(20),
+            events: vec![
+                TraceEvent {
+                    at: 0,
+                    core: 0,
+                    kind: EventKind::Arrive { app: "mcf".into(), phase_offset: 0 },
+                },
+                TraceEvent {
+                    at: 0,
+                    core: 1,
+                    kind: EventKind::Arrive { app: "gcc".into(), phase_offset: 0 },
+                },
+                TraceEvent {
+                    at: 12,
+                    core: 1,
+                    kind: EventKind::Arrive { app: "povray".into(), phase_offset: 0 },
+                },
+            ],
+        };
+        let w = trace_app_weights(&db, &churny);
+        let weight_of = |name: &str| {
+            db.apps.iter().zip(&w).find(|(e, _)| e.spec.name == name).map(|(_, &x)| x).unwrap()
+        };
+        assert!((weight_of("mcf") - 0.5).abs() < 1e-12);
+        assert!((weight_of("gcc") - 0.3).abs() < 1e-12);
+        assert!((weight_of("povray") - 0.2).abs() < 1e-12);
+        assert_eq!(weight_of("libquantum"), 0.0);
+    }
+
+    #[test]
+    fn trace_weighted_evaluation_follows_the_workload() {
+        let db = db();
+        let sys = SystemConfig::table1(2);
+        let em = EnergyModel::default_model();
+        let uniform = evaluate_model_with(&db, ModelKind::Model2, &sys, &em);
+        // A trace occupied solely by povray must reproduce the povray-only
+        // evaluation — and generally differ from the uniform average.
+        let povray_only = WorkloadTrace::steady(&["povray", "povray"]);
+        let traced = evaluate_model_on_trace(&db, &povray_only, ModelKind::Model2, &sys, &em);
+        let solo_db =
+            PhaseDb { apps: db.apps.iter().filter(|e| e.spec.name == "povray").cloned().collect() };
+        let solo = evaluate_model_with(&solo_db, ModelKind::Model2, &sys, &em);
+        assert_eq!(traced.probability, solo.probability);
+        assert_eq!(traced.expected_violation, solo.expected_violation);
+        assert_ne!(traced.probability, uniform.probability);
     }
 
     #[test]

@@ -1,247 +1,9 @@
-//! Workload scenarios (Fig. 1) and the §IV-C workload generator.
-//!
-//! Fig. 1 analyzes all mixes of two application categories. Each ordered
-//! cell `(A, B)` has probability `n_A · n_B / 27²` (from the Table II
-//! census), and the cells group into four scenarios:
-//!
-//! * **S1** — the proposed RM3 beats prior art (RM2): the mix pairs cache
-//!   sensitivity with parallelism sensitivity (any mix containing a CS-PS
-//!   application, or CS-PI together with CI-PS). Collective weight 47 %.
-//! * **S2** — RM2 and RM3 comparable: cache-sensitive mixes without any
-//!   parallelism sensitivity ({CS-PI, CS-PI} and {CS-PI, CI-PI}). 22.1 %.
-//! * **S3** — only RM3 effective: cache-insensitive mixes with at least one
-//!   parallelism-sensitive application. 22.1 %.
-//! * **S4** — nothing helps: {CI-PI, CI-PI}. 8.8 %.
-//!
-//! §IV-C extends each two-category cell to 4- and 8-core workloads: the
-//! first half of the cores draws applications from category `A`, the second
-//! half from `B`, with `random.choice` semantics (uniform with
-//! replacement).
+//! Compatibility re-export: the Fig. 1 scenario taxonomy and the §IV-C
+//! workload generator moved to the dedicated `triad-workload` crate (which
+//! also owns the dynamic [`WorkloadSpec`]/[`WorkloadTrace`] machinery).
+//! Existing `triad_sim::workload::…` paths keep working through this shim.
 
-use triad_trace::{by_category, suite, Category};
-use triad_util::rand::rngs::StdRng;
-use triad_util::rand::{RngExt, SeedableRng};
-
-/// The four workload scenarios of Fig. 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Scenario {
-    /// RM3 expected to beat RM2.
-    S1,
-    /// RM2 ≈ RM3.
-    S2,
-    /// Only RM3 effective.
-    S3,
-    /// Limited/no savings for every RM.
-    S4,
-}
-
-impl Scenario {
-    /// All scenarios in order.
-    pub const ALL: [Scenario; 4] = [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4];
-
-    /// The paper's scenario weights (§V-A): 47 / 22.1 / 22.1 / 8.8 %.
-    pub fn weight(self) -> f64 {
-        match self {
-            Scenario::S1 => 0.47,
-            Scenario::S2 => 0.221,
-            Scenario::S3 => 0.221,
-            Scenario::S4 => 0.088,
-        }
-    }
-
-    /// Display label ("Scenario 1"…).
-    pub fn label(self) -> &'static str {
-        match self {
-            Scenario::S1 => "Scenario 1",
-            Scenario::S2 => "Scenario 2",
-            Scenario::S3 => "Scenario 3",
-            Scenario::S4 => "Scenario 4",
-        }
-    }
-
-    /// A representative `(first half, second half)` category pair used to
-    /// *generate* workloads of this scenario (§IV-C: for S1 the second half
-    /// is CS-PS; CS-PI is also allowed when the first half is CI-PS).
-    pub fn generator_pairs(self) -> Vec<(Category, Category)> {
-        use Category::*;
-        match self {
-            Scenario::S1 => {
-                vec![(CsPs, CsPs), (CsPi, CsPs), (CiPs, CsPs), (CiPi, CsPs), (CiPs, CsPi)]
-            }
-            Scenario::S2 => vec![(CsPi, CsPi), (CiPi, CsPi)],
-            Scenario::S3 => vec![(CiPs, CiPs), (CiPi, CiPs)],
-            Scenario::S4 => vec![(CiPi, CiPi)],
-        }
-    }
-}
-
-impl std::fmt::Display for Scenario {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-/// Fig. 1 cell classification for an unordered category pair.
-pub fn scenario_of_pair(a: Category, b: Category) -> Scenario {
-    let cs = a.cache_sensitive() || b.cache_sensitive();
-    let ps = a.parallelism_sensitive() || b.parallelism_sensitive();
-    match (cs, ps) {
-        (true, true) => Scenario::S1,
-        (true, false) => Scenario::S2,
-        (false, true) => Scenario::S3,
-        (false, false) => Scenario::S4,
-    }
-}
-
-/// Probability of the ordered category cell `(a, b)`: `n_a · n_b / 27²`
-/// (Fig. 1's per-cell numbers, e.g. 8.8 % for CI-PI × CI-PI).
-pub fn cell_probability(a: Category, b: Category) -> f64 {
-    let count = |c: Category| suite().iter().filter(|x| x.category == c).count() as f64;
-    count(a) * count(b) / (27.0 * 27.0)
-}
-
-/// Collective probability of a scenario over all ordered cells — must
-/// reproduce the 47 / 22.1 / 22.1 / 8.8 % weights.
-pub fn scenario_probability(s: Scenario) -> f64 {
-    let mut p = 0.0;
-    for a in Category::ALL {
-        for b in Category::ALL {
-            if scenario_of_pair(a, b) == s {
-                p += cell_probability(a, b);
-            }
-        }
-    }
-    p
-}
-
-/// A generated multiprogrammed workload: one application name per core.
-#[derive(Debug, Clone)]
-pub struct Workload {
-    /// Display name, e.g. "4Core-W7".
-    pub name: String,
-    /// Scenario it was generated for.
-    pub scenario: Scenario,
-    /// Application names, one per core.
-    pub apps: Vec<&'static str>,
-}
-
-/// Generate `per_scenario` workloads of `n_cores` cores for every scenario
-/// (§IV-C): the first half of the cores draws from the pair's first
-/// category, the second half from the second, uniformly with replacement
-/// (Python `random.choice`), cycling over the scenario's admissible
-/// category pairs. Workload numbering follows the paper: W1.. for S1, then
-/// S2, S3, S4.
-pub fn generate_workloads(n_cores: usize, per_scenario: usize, seed: u64) -> Vec<Workload> {
-    assert!(n_cores >= 2 && n_cores.is_multiple_of(2));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    let mut wnum = 1;
-    for s in Scenario::ALL {
-        let pairs = s.generator_pairs();
-        for k in 0..per_scenario {
-            let (ca, cb) = pairs[k % pairs.len()];
-            let pool_a = by_category(ca);
-            let pool_b = by_category(cb);
-            let mut apps = Vec::with_capacity(n_cores);
-            for _ in 0..n_cores / 2 {
-                apps.push(pool_a[rng.random_range(0..pool_a.len())].name);
-            }
-            for _ in 0..n_cores / 2 {
-                apps.push(pool_b[rng.random_range(0..pool_b.len())].name);
-            }
-            out.push(Workload { name: format!("{n_cores}Core-W{wnum}"), scenario: s, apps });
-            wnum += 1;
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use Category::*;
-
-    #[test]
-    fn fig1_cell_probabilities() {
-        // The numbers printed in Fig. 1 (upper triangle).
-        assert!((cell_probability(CiPi, CiPi) - 8.0 * 8.0 / 729.0).abs() < 1e-12);
-        assert!((cell_probability(CiPi, CiPs) - 8.0 * 7.0 / 729.0).abs() < 1e-12);
-        assert!((cell_probability(CiPi, CsPs) - 8.0 * 5.0 / 729.0).abs() < 1e-12);
-        assert!((cell_probability(CsPs, CsPs) - 25.0 / 729.0).abs() < 1e-12);
-        // Fig. 1 prints 8.8%, 7.7%, 5.5%, 3.4%:
-        assert!((cell_probability(CiPi, CiPi) * 100.0 - 8.8).abs() < 0.05);
-        assert!((cell_probability(CiPi, CiPs) * 100.0 - 7.7).abs() < 0.05);
-        assert!((cell_probability(CiPi, CsPs) * 100.0 - 5.5).abs() < 0.05);
-        assert!((cell_probability(CsPs, CsPs) * 100.0 - 3.4).abs() < 0.05);
-    }
-
-    #[test]
-    fn scenario_weights_match_paper() {
-        assert!((scenario_probability(Scenario::S1) * 100.0 - 47.0).abs() < 0.15);
-        assert!((scenario_probability(Scenario::S2) * 100.0 - 22.1).abs() < 0.1);
-        assert!((scenario_probability(Scenario::S3) * 100.0 - 22.1).abs() < 0.1);
-        assert!((scenario_probability(Scenario::S4) * 100.0 - 8.8).abs() < 0.1);
-        let total: f64 = Scenario::ALL.iter().map(|&s| scenario_probability(s)).sum();
-        assert!((total - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn scenario_classification_matches_fig1() {
-        // S1: any mix with CS-PS, plus CS-PI with CI-PS.
-        assert_eq!(scenario_of_pair(CsPs, CsPs), Scenario::S1);
-        assert_eq!(scenario_of_pair(CiPi, CsPs), Scenario::S1);
-        assert_eq!(scenario_of_pair(CsPi, CiPs), Scenario::S1);
-        // S2: cache-sensitive, no parallelism sensitivity.
-        assert_eq!(scenario_of_pair(CsPi, CsPi), Scenario::S2);
-        assert_eq!(scenario_of_pair(CsPi, CiPi), Scenario::S2);
-        // S3: cache-insensitive with parallelism sensitivity.
-        assert_eq!(scenario_of_pair(CiPs, CiPs), Scenario::S3);
-        assert_eq!(scenario_of_pair(CiPs, CiPi), Scenario::S3);
-        // S4: nothing to trade.
-        assert_eq!(scenario_of_pair(CiPi, CiPi), Scenario::S4);
-    }
-
-    #[test]
-    fn generated_workloads_respect_the_recipe() {
-        for n in [2usize, 4, 8] {
-            let ws = generate_workloads(n, 6, 1);
-            assert_eq!(ws.len(), 24);
-            for w in &ws {
-                assert_eq!(w.apps.len(), n);
-                let cats: Vec<Category> = w
-                    .apps
-                    .iter()
-                    .map(|name| triad_trace::apps::by_name(name).unwrap().category)
-                    .collect();
-                // Each half must be drawn from a single category, and the
-                // unordered pair must classify into the workload's scenario.
-                let a = cats[0];
-                let b = cats[n / 2];
-                assert!(cats[..n / 2].iter().all(|&c| c == a), "{:?}", w);
-                assert!(cats[n / 2..].iter().all(|&c| c == b), "{:?}", w);
-                assert_eq!(scenario_of_pair(a, b), w.scenario, "{:?}", w);
-            }
-        }
-    }
-
-    #[test]
-    fn workload_names_follow_paper_numbering() {
-        let ws = generate_workloads(4, 6, 2);
-        assert_eq!(ws[0].name, "4Core-W1");
-        assert_eq!(ws[23].name, "4Core-W24");
-        // W1..W6 are Scenario 1; W19..W24 are Scenario 4 (paper: 4Core-W21
-        // and 8Core-W20/W22/W24 are discussed as Scenario 4).
-        assert_eq!(ws[5].scenario, Scenario::S1);
-        assert_eq!(ws[6].scenario, Scenario::S2);
-        assert_eq!(ws[18].scenario, Scenario::S4);
-    }
-
-    #[test]
-    fn generation_is_deterministic() {
-        let a = generate_workloads(4, 6, 9);
-        let b = generate_workloads(4, 6, 9);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.apps, y.apps);
-        }
-    }
-}
+pub use triad_workload::{
+    cell_probability, generate_workloads, sample_mix, scenario_of_pair, scenario_probability,
+    ArrivalProcess, EventKind, Scenario, Stage, TraceEvent, Workload, WorkloadSpec, WorkloadTrace,
+};

@@ -1,0 +1,37 @@
+//! # triad-workload — workloads as time-varying programs
+//!
+//! The paper evaluates RM1–RM3 only on §IV-C mixes frozen at `t = 0`.
+//! This crate makes the workload itself a first-class, serializable
+//! object that can change while the simulator runs:
+//!
+//! * [`scenario`] — the Fig. 1 scenario taxonomy and the §IV-C steady-mix
+//!   generator (moved here from `triad-sim`, which re-exports it for
+//!   compatibility);
+//! * [`spec`] — the [`WorkloadSpec`] DSL: steady §IV-C mixes, phased
+//!   (piecewise-constant category schedules), bursty arrivals (Poisson and
+//!   two-state MMPP on the deterministic `triad-util` PRNG), per-core
+//!   churn schedules, and scaled synthetic suites (N× the 27-app Table II
+//!   census with jittered phase positions);
+//! * [`trace`] — the materialized [`WorkloadTrace`]: a sorted list of
+//!   arrive/depart events on a global interval clock, serialized as
+//!   canonical JSON (`triad-workload/v1`) and fingerprintable via
+//!   `triad_util::hash` so campaign rows stay content-addressed.
+//!
+//! A spec *describes* a workload program; [`WorkloadSpec::materialize`]
+//! expands it — deterministically, from its own seed — into the trace the
+//! simulator replays. Cores may be vacant between arrivals (the simulator
+//! charges idle-core power for those windows), an arrival on an occupied
+//! core is a churn replacement with a cold restart of that core's phase
+//! position, and the resource manager re-plans the whole system on every
+//! arrival, churn and departure event.
+
+pub mod scenario;
+pub mod spec;
+pub mod trace;
+
+pub use scenario::{
+    cell_probability, generate_workloads, sample_mix, scenario_of_pair, scenario_probability,
+    Scenario, Workload,
+};
+pub use spec::{ArrivalProcess, Stage, WorkloadSpec};
+pub use trace::{EventKind, TraceEvent, WorkloadTrace, TRACE_SCHEMA};

@@ -11,6 +11,7 @@ use triad::phasedb::{DbConfig, DbStore};
 use triad::rm::ModelKind;
 use triad::rm::RmKind;
 use triad::sim::engine::{SimConfig, SimModel, Simulator};
+use triad::workload::WorkloadSpec;
 
 fn main() {
     // A cache-hungry application (mcf) next to a compute-bound one
@@ -46,4 +47,27 @@ fn main() {
             r.intervals_checked
         );
     }
+
+    // Dynamic-workload variant: churn the same two-app pool mid-run (a new
+    // app replaces the old one roughly every 12 intervals, cold-restarting
+    // that core's phase position) and replay the materialized trace.
+    let churn = WorkloadSpec::Churn {
+        n_cores: 2,
+        seed: 7,
+        period: 12,
+        horizon: 96,
+        scenario: None,
+        pool: names.iter().map(|s| s.to_string()).collect(),
+    };
+    let trace = churn.materialize().expect("churn spec materializes");
+    let cfg = SimConfig::evaluation(RmKind::Rm3, SimModel::Online(ModelKind::Model3));
+    let r = Simulator::new(&db, 2, cfg).run_trace(&trace);
+    println!(
+        "RM3 under churn ({} arrivals, fingerprint {}…): {:.2} J, QoS violations {}/{}",
+        r.arrivals,
+        &trace.fingerprint()[..12],
+        r.total_energy_j,
+        r.qos_violations,
+        r.intervals_checked
+    );
 }

@@ -22,6 +22,9 @@
 //!   configurations;
 //! * [`rm`] — the RM itself (package `triad-rm`): Models 1/2/3, QoS,
 //!   local + global optimizers, controllers RM1/RM2/RM3;
+//! * [`workload`] — workloads as time-varying programs: the §IV-C mix
+//!   generator plus phased/bursty/churn/scaled [`workload::WorkloadSpec`]s
+//!   materialized into replayable [`workload::WorkloadTrace`]s;
 //! * [`sim`] — the interval-event RM simulator, the parallel
 //!   [`sim::campaign`] orchestration layer, and every experiment of §V.
 //!
@@ -63,3 +66,4 @@ pub use triad_sim as sim;
 pub use triad_simpoint as simpoint;
 pub use triad_trace as trace;
 pub use triad_uarch as uarch;
+pub use triad_workload as workload;

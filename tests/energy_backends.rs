@@ -44,12 +44,17 @@ fn golden_specs() -> Vec<ExperimentSpec> {
     ]
 }
 
-/// Drop the post-refactor `"energy_backend"` metadata lines so the rest of
-/// the report can be compared byte-for-byte against the pre-refactor bytes.
+/// Drop the post-refactor metadata lines (`"energy_backend"` from the
+/// backend seam, `"workload_fingerprint"` from the workload subsystem) so
+/// the rest of the report can be compared byte-for-byte against the
+/// pre-refactor bytes.
 fn strip_backend_lines(report: &str) -> String {
     report
         .lines()
-        .filter(|l| !l.trim_start().starts_with("\"energy_backend\""))
+        .filter(|l| {
+            let l = l.trim_start();
+            !l.starts_with("\"energy_backend\"") && !l.starts_with("\"workload_fingerprint\"")
+        })
         .collect::<Vec<_>>()
         .join("\n")
         + "\n"

@@ -1,10 +1,16 @@
 //! The calibration contract: running the paper's §IV-C classification
 //! criteria over the full default-quality database must reproduce
-//! Table II exactly (5 CS-PS, 7 CS-PI, 7 CI-PS, 8 CI-PI, same members).
+//! Table II exactly (5 CS-PS, 7 CS-PI, 7 CI-PS, 8 CI-PI, same members) —
+//! and the steady-workload generator must honor the same census: §IV-C
+//! half-pool semantics with replacement, and empirical scenario
+//! frequencies converging on the Fig. 1 weights.
 //!
-//! This is the most expensive integration test (full 27-app database).
+//! `full_suite_reproduces_table2` is the most expensive integration test
+//! (full 27-app database); the generator properties are pure and fast.
 
 use triad::phasedb::{build_suite, characterize_app, DbConfig};
+use triad::trace::Category;
+use triad::workload::{scenario_of_pair, Scenario, WorkloadSpec};
 
 #[test]
 fn full_suite_reproduces_table2() {
@@ -20,4 +26,63 @@ fn full_suite_reproduces_table2() {
         }
     }
     assert!(mismatches.is_empty(), "Table II mismatches:\n{}", mismatches.join("\n"));
+}
+
+/// The apps and realized scenario of one census-sampled steady mix.
+fn sampled_mix(n_cores: usize, seed: u64) -> (Vec<String>, Scenario) {
+    let trace = WorkloadSpec::Steady { n_cores, scenario: None, seed }
+        .materialize()
+        .expect("steady mixes materialize");
+    let apps: Vec<String> = trace
+        .static_names()
+        .expect("steady mixes are static")
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let cats: Vec<Category> =
+        apps.iter().map(|n| triad::trace::by_name(n).unwrap().category).collect();
+    (apps, scenario_of_pair(cats[0], cats[n_cores / 2]))
+}
+
+#[test]
+fn steady_mixes_follow_iv_c_semantics() {
+    // Each half draws from exactly one category — and *with* replacement:
+    // over many seeds some mix must repeat an application within a half
+    // (without replacement that is impossible).
+    let mut saw_duplicate_in_half = false;
+    for seed in 0..400u64 {
+        let (apps, _) = sampled_mix(8, seed);
+        let cats: Vec<Category> =
+            apps.iter().map(|n| triad::trace::by_name(n).unwrap().category).collect();
+        assert!(cats[..4].iter().all(|&c| c == cats[0]), "first half single-category: {apps:?}");
+        assert!(cats[4..].iter().all(|&c| c == cats[4]), "second half single-category: {apps:?}");
+        saw_duplicate_in_half |=
+            apps[..4].iter().any(|a| apps[..4].iter().filter(|b| *b == a).count() > 1);
+    }
+    assert!(
+        saw_duplicate_in_half,
+        "half-pools must sample with replacement (random.choice semantics)"
+    );
+}
+
+#[test]
+fn census_scenario_frequencies_converge_on_fig1_weights() {
+    // 10k seeds of census-weighted sampling: the realized scenario
+    // frequencies must converge on the paper's 47/22.1/22.1/8.8 weights
+    // (each within ±1.5 percentage points; binomial σ at n=10k is ≈0.5pp).
+    const N: u64 = 10_000;
+    let mut counts = [0u64; 4];
+    for seed in 0..N {
+        let (_, s) = sampled_mix(4, seed);
+        counts[Scenario::ALL.iter().position(|&x| x == s).unwrap()] += 1;
+    }
+    let expected = [47.0, 22.1, 22.1, 8.8];
+    for (i, s) in Scenario::ALL.iter().enumerate() {
+        let pct = counts[i] as f64 * 100.0 / N as f64;
+        assert!(
+            (pct - expected[i]).abs() < 1.5,
+            "{s}: empirical {pct:.2}% vs census weight {:.1}%",
+            expected[i]
+        );
+    }
 }
