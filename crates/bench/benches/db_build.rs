@@ -1,0 +1,121 @@
+//! End-to-end phase-database build cost — the grid sweep `build_phase`
+//! pays per phase, tracked separately from the single-interval
+//! `timing_model` unit so the db-build trajectory has its own baseline.
+//!
+//! Three measurements per phase archetype:
+//!
+//! * `build_phase` — the real thing: trace generation + classification +
+//!   the 2-frequency × 3-core lockstep grid (reported as ns per
+//!   grid-point·instruction and ms per phase);
+//! * `legacy_grid` — the PR 4 formulation of the simulation part: one
+//!   independent engine call per (core, frequency, allocation) grid point,
+//!   monitors attached exactly where `build_phase` attaches them;
+//! * `batched_grid` — the same grid through the lockstep engine.
+//!
+//! The legacy/batched ratio is the asserted speedup (machine-relative, so
+//! it holds on slow CI runners); the absolute constants only guard against
+//! catastrophic regressions. Run with
+//! `cargo bench -p triad-bench --bench db_build`; set
+//! `TRIAD_BENCH_BUDGET_MS` to shrink the window (CI smoke).
+
+use std::hint::black_box;
+use std::time::Duration;
+use triad_arch::{CacheGeometry, CoreSize};
+use triad_cache::{classify_warm, MlpMonitor};
+use triad_phasedb::{build_phase, DbConfig, NC, NW, W_MAX, W_MIN};
+use triad_uarch::{TimingConfig, TimingEngine};
+use triad_util::bench::{bench, budget_from_env, speedup_gate};
+
+/// Recorded on the reference dev box (2026-07-28, release build) with the
+/// lockstep engine: `build_phase` end-to-end cost per grid-point
+/// instruction for the fast (32K-instruction-detail) configuration. The
+/// PR 4 code paid ~44 ns here (0.482 s cold for the 3-app fast subset in
+/// `db_store`, now ~0.23 s). Only a >50× regression fails.
+const BUILD_BASELINE_NS_PER_GRID_INST: f64 = 18.0;
+
+fn main() {
+    let cfg = DbConfig::fast();
+    let geom = CacheGeometry::table1_scaled(4, cfg.scale);
+    let budget = budget_from_env(Duration::from_secs(2));
+    let grid_points = (2 * NC * NW) as f64; // 2 fit frequencies x 3 cores x 15 ways
+    let grid_insts = grid_points * cfg.detail as f64;
+
+    let mut worst_build = 0.0f64;
+    let mut worst_ratio = f64::INFINITY;
+    for name in ["mcf", "povray"] {
+        let app = triad_trace::suite().into_iter().find(|a| a.name == name).unwrap();
+        let spec = app.phases[0].clone();
+
+        // (1) The real build_phase, end to end.
+        let m = bench(&format!("db_build/build_phase_{name}"), None, budget, || {
+            black_box(build_phase(&spec, &cfg));
+        });
+        let build_ns = m.secs_per_iter * 1e9 / grid_insts;
+        println!(
+            "db_build/build_phase_{name:<18} {:>8.2} ms/phase  {build_ns:>6.1} ns/(grid-point inst)",
+            m.secs_per_iter * 1e3
+        );
+        worst_build = worst_build.max(build_ns);
+
+        // (2) & (3): the simulation grid alone, legacy vs lockstep, over
+        // the identical classified trace.
+        let scaled = spec.scaled(cfg.scale as u64);
+        let trace = scaled.generate(cfg.warmup + cfg.detail, cfg.seed);
+        let ct = classify_warm(&trace, &geom, cfg.warmup);
+        let detailed = &trace.insts[cfg.warmup..];
+        let mut engine = TimingEngine::new();
+
+        let legacy = bench(&format!("db_build/legacy_grid_{name}"), None, budget, || {
+            for c in CoreSize::ALL {
+                for w in W_MIN..=W_MAX {
+                    let mut mon = MlpMonitor::table1();
+                    black_box(engine.simulate_with_monitor(
+                        detailed,
+                        &ct,
+                        &TimingConfig::table1(c, cfg.fit_lo_hz, w),
+                        &mut mon,
+                    ));
+                    black_box(engine.simulate(
+                        detailed,
+                        &ct,
+                        &TimingConfig::table1(c, cfg.fit_hi_hz, w),
+                    ));
+                }
+            }
+        });
+        let batched = bench(&format!("db_build/batched_grid_{name}"), None, budget, || {
+            for c in CoreSize::ALL {
+                let mut mons: Vec<MlpMonitor> =
+                    (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+                let lo_cfg = TimingConfig::table1(c, cfg.fit_lo_hz, W_MIN);
+                black_box(engine.simulate_ways_with_monitors(
+                    detailed,
+                    &ct,
+                    &lo_cfg,
+                    W_MIN..=W_MAX,
+                    &mut mons,
+                ));
+                black_box(engine.simulate_ways(detailed, &ct, c, cfg.fit_hi_hz, W_MIN..=W_MAX));
+            }
+        });
+        let ratio = legacy.secs_per_iter / batched.secs_per_iter;
+        println!("db_build/grid_speedup_{name:<17} {ratio:>8.2}x lockstep over legacy");
+        worst_ratio = worst_ratio.min(ratio);
+    }
+    println!(
+        "db_build/baseline                        {BUILD_BASELINE_NS_PER_GRID_INST:>8.1} \
+         ns/(grid-point inst) (recorded 2026-07-28; PR 4 code: ~44)"
+    );
+
+    let gate = speedup_gate(budget);
+    assert!(
+        worst_ratio >= gate,
+        "the lockstep grid must be >={gate}x faster than per-grid-point calls \
+         (got {worst_ratio:.2}x)"
+    );
+    assert!(
+        worst_build < BUILD_BASELINE_NS_PER_GRID_INST * 50.0,
+        "build_phase regressed catastrophically: {worst_build:.1} ns/(grid-point inst) \
+         vs recorded {BUILD_BASELINE_NS_PER_GRID_INST:.1}"
+    );
+}

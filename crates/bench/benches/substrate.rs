@@ -9,7 +9,7 @@ use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{classify, Atd, MlpMonitor};
 use triad_rm::{optimize_partition, EnergyCurve};
 use triad_trace::{MemRegion, PhaseSpec};
-use triad_uarch::{simulate, TimingConfig};
+use triad_uarch::{TimingConfig, TimingEngine};
 use triad_util::bench::bench;
 
 const BUDGET: Duration = Duration::from_millis(400);
@@ -43,10 +43,20 @@ fn bench_timing() {
     let t = spec().generate(64_000, 1);
     let geom = CacheGeometry::table1_scaled(4, 16);
     let ct = classify(&t, &geom);
+    let mut engine = TimingEngine::new();
     for core in CoreSize::ALL {
         bench(&format!("timing/ooo_model_{core}"), Some(t.len() as u64), BUDGET, || {
-            black_box(simulate(&t.insts, &ct, &TimingConfig::table1(core, 2.0e9, 8)));
+            black_box(engine.simulate(&t.insts, &ct, &TimingConfig::table1(core, 2.0e9, 8)));
         });
+        // The lockstep grid unit: all 15 allocations in one trace pass.
+        bench(
+            &format!("timing/ooo_lockstep_ways_{core}"),
+            Some(15 * t.len() as u64),
+            BUDGET,
+            || {
+                black_box(engine.simulate_ways(&t.insts, &ct, core, 2.0e9, 2..=16));
+            },
+        );
     }
 }
 

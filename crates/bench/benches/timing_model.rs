@@ -1,65 +1,116 @@
 //! Out-of-order timing-model inner-loop cost per simulated RM interval.
 //!
-//! The ROADMAP's hot-path item: database builds are dominated by
-//! `triad_uarch::simulate` — every phase runs it over the whole
-//! (core size × frequency × ways) grid, and each call replays one
-//! detailed interval (the scaled 100M-instruction window). This bench
-//! measures exactly that unit — one `simulate` call over a default-quality
-//! detailed window — for a memory-bound and a compute-bound phase, and
-//! reports ns/instruction so later SoA/SIMD work has a recorded baseline.
-//! Run with `cargo bench -p triad-bench --bench timing_model`.
+//! The ROADMAP's hot-path item: database builds are dominated by the
+//! out-of-order timing model — every phase runs it over the whole
+//! (core size × frequency × ways) grid, and each run replays one detailed
+//! interval (the scaled 100M-instruction window). This bench measures both
+//! engine modes for a memory-bound and a compute-bound phase:
+//!
+//! * **scalar** — one [`TimingEngine::simulate`] call per interval (the
+//!   legacy unit; ns/instruction), and
+//! * **batched** — one [`TimingEngine::simulate_ways`] lockstep pass over
+//!   the full 15-allocation ways grid (ns per instruction·grid-point).
+//!
+//! Run with `cargo bench -p triad-bench --bench timing_model`; set
+//! `TRIAD_BENCH_BUDGET_MS` to shrink the measurement window (CI smoke).
 
 use std::hint::black_box;
 use std::time::Duration;
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::classify_warm;
-use triad_phasedb::DbConfig;
-use triad_uarch::{simulate, TimingConfig};
-use triad_util::bench::bench;
+use triad_phasedb::{DbConfig, W_MAX, W_MIN};
+use triad_uarch::{TimingConfig, TimingEngine};
+use triad_util::bench::{bench, budget_from_env, speedup_gate};
 
-/// Baseline recorded on the reference dev box (2026-07-28, release build):
-/// the out-of-order inner loop retires roughly this many ns/instruction.
-/// Not asserted tightly — hardware varies — but a >50× regression fails.
-const BASELINE_NS_PER_INST: f64 = 35.0;
+/// PR 4 baseline (reference dev box, 2026-07-28, release build): the
+/// pre-engine scalar inner loop retired ~35 ns/instruction — and paid that
+/// for *each* of the 15 way allocations of a grid sweep.
+const PR4_BASELINE_NS_PER_INST: f64 = 35.0;
+
+/// Recorded with the lockstep engine (same box, 2026-07-28): scalar
+/// single-allocation cost. Not asserted tightly — hardware varies — but a
+/// >50× regression fails.
+const SCALAR_BASELINE_NS_PER_INST: f64 = 30.0;
+
+/// Recorded with the lockstep engine (same box, 2026-07-28): batched cost
+/// per instruction·grid-point over the 15-way sweep — ~3× under the PR 4
+/// per-allocation number because the trace, its classification codes and
+/// the dependence decode are touched once instead of 15×.
+const BATCHED_BASELINE_NS_PER_GRID_INST: f64 = 10.5;
 
 fn main() {
     let cfg = DbConfig::default_config();
     let geom = CacheGeometry::table1_scaled(4, cfg.scale);
-    let budget = Duration::from_secs(2);
+    let budget = budget_from_env(Duration::from_secs(2));
+    let nw = (W_MIN..=W_MAX).count() as f64;
 
-    let mut worst_ns = 0.0f64;
+    let mut worst_scalar = 0.0f64;
+    let mut worst_batched = 0.0f64;
+    let mut worst_ratio = f64::INFINITY;
+    let mut engine = TimingEngine::new();
     for name in ["mcf", "povray"] {
         let app = triad_trace::suite().into_iter().find(|a| a.name == name).unwrap();
         let phase = app.phases[0].scaled(cfg.scale as u64);
         let trace = phase.generate(cfg.warmup + cfg.detail, cfg.seed);
         let ct = classify_warm(&trace, &geom, cfg.warmup);
         let detailed = &trace.insts[cfg.warmup..];
+        let n = detailed.len() as f64;
 
         // The paper's baseline operating point: medium core, 2 GHz, 8 ways.
         let tc = TimingConfig::table1(CoreSize::M, 2.0e9, 8);
         let m = bench(
-            &format!("timing_model/interval_{name}"),
+            &format!("timing_model/scalar_{name}"),
             Some(detailed.len() as u64),
             budget,
             || {
-                black_box(simulate(detailed, &ct, &tc));
+                black_box(engine.simulate(detailed, &ct, &tc));
             },
         );
-        let ns_per_inst = m.secs_per_iter * 1e9 / detailed.len() as f64;
-        println!(
-            "timing_model/interval_{name:<24} {:>8.1} ns/inst  ({} insts/interval)",
-            ns_per_inst,
-            detailed.len()
+        let scalar_ns = m.secs_per_iter * 1e9 / n;
+
+        // The grid-sweep unit: all 15 allocations in one lockstep pass.
+        let m = bench(
+            &format!("timing_model/batched_ways_{name}"),
+            Some((n * nw) as u64),
+            budget,
+            || {
+                black_box(engine.simulate_ways(detailed, &ct, CoreSize::M, 2.0e9, W_MIN..=W_MAX));
+            },
         );
-        worst_ns = worst_ns.max(ns_per_inst);
+        let batched_ns = m.secs_per_iter * 1e9 / (n * nw);
+        let ratio = scalar_ns / batched_ns;
+        println!(
+            "timing_model/{name:<10} scalar {scalar_ns:>6.1} ns/inst   batched {batched_ns:>6.1} \
+             ns/(inst*way)   lockstep speedup {ratio:>5.2}x"
+        );
+        worst_scalar = worst_scalar.max(scalar_ns);
+        worst_batched = worst_batched.max(batched_ns);
+        worst_ratio = worst_ratio.min(ratio);
     }
     println!(
-        "timing_model/baseline                    {BASELINE_NS_PER_INST:>8.1} ns/inst \
-         (recorded 2026-07-28)"
+        "timing_model/baseline   PR4 {PR4_BASELINE_NS_PER_INST:.1} ns/inst per allocation -> \
+         scalar {SCALAR_BASELINE_NS_PER_INST:.1} ns/inst + batched \
+         {BATCHED_BASELINE_NS_PER_GRID_INST:.1} ns/(inst*way) (recorded 2026-07-28)"
+    );
+
+    // Hard gates. The lockstep claim is machine-relative (both sides
+    // measured in this process), so it holds on slow CI runners too —
+    // short smoke budgets get a noise-tolerant threshold; the absolute
+    // guards only catch catastrophic (>50x) regressions.
+    let gate = speedup_gate(budget);
+    assert!(
+        worst_ratio >= gate,
+        "lockstep batching must sweep the ways grid >={gate}x faster than scalar calls \
+         (got {worst_ratio:.2}x)"
     );
     assert!(
-        worst_ns < BASELINE_NS_PER_INST * 50.0,
-        "out-of-order inner loop regressed catastrophically: {worst_ns:.1} ns/inst \
-         vs recorded baseline {BASELINE_NS_PER_INST:.1}"
+        worst_scalar < SCALAR_BASELINE_NS_PER_INST * 50.0,
+        "scalar inner loop regressed catastrophically: {worst_scalar:.1} ns/inst \
+         vs recorded {SCALAR_BASELINE_NS_PER_INST:.1}"
+    );
+    assert!(
+        worst_batched < BATCHED_BASELINE_NS_PER_GRID_INST * 50.0,
+        "batched inner loop regressed catastrophically: {worst_batched:.1} ns/(inst*way) \
+         vs recorded {BATCHED_BASELINE_NS_PER_GRID_INST:.1}"
     );
 }

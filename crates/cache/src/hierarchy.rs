@@ -57,6 +57,43 @@ const CODE_L2: u8 = 252;
 const CODE_COLD: u8 = 253;
 // 0..=15: LLC stack distance.
 
+/// Service-level latency class of a raw classification code under
+/// allocation `w`: 0 = not mem, 1 = L1, 2 = L2, 3 = LLC hit, 4 = DRAM.
+///
+/// Batch-friendly form of [`ClassifiedTrace::service_level`]: the lockstep
+/// timing engine fetches one code per instruction from
+/// [`ClassifiedTrace::codes`] and decodes it for every way allocation
+/// without re-touching the classification array.
+#[inline]
+pub fn service_level_of(code: u8, w: usize) -> u8 {
+    match code {
+        NOT_MEM => 0,
+        CODE_L1 => 1,
+        CODE_L2 => 2,
+        CODE_COLD => 4,
+        d if (d as usize) < w => 3,
+        _ => 4,
+    }
+}
+
+/// Does a raw classification code denote an LLC access (hit or miss at any
+/// allocation)? Batch-friendly form of [`ClassifiedTrace::is_llc_access`].
+#[inline]
+pub fn is_llc_code(code: u8) -> bool {
+    code <= 15 || code == CODE_COLD
+}
+
+/// ATD stack distance a raw LLC-access code carries for the MLP monitor:
+/// the distance itself for tracked positions, [`COLD`] otherwise.
+#[inline]
+pub fn llc_stack_dist_of(code: u8) -> u8 {
+    if code <= 15 {
+        code
+    } else {
+        COLD
+    }
+}
+
 impl ClassifiedTrace {
     /// Decode the classification of instruction `i`.
     pub fn class(&self, i: usize) -> AccessClass {
@@ -75,6 +112,14 @@ impl ClassifiedTrace {
         self.codes[i]
     }
 
+    /// Raw per-instruction codes (`CODE_*` encoding). The batched timing
+    /// engine reads this slice once per trace pass instead of calling
+    /// [`ClassifiedTrace::code`] per (instruction, way) pair.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
     /// Does instruction `i` reach DRAM under allocation `w`?
     #[inline]
     pub fn is_dram(&self, i: usize, w: usize) -> bool {
@@ -85,22 +130,14 @@ impl ClassifiedTrace {
     /// Does instruction `i` access the LLC (hit or miss)?
     #[inline]
     pub fn is_llc_access(&self, i: usize) -> bool {
-        let c = self.codes[i];
-        c <= 15 || c == CODE_COLD
+        is_llc_code(self.codes[i])
     }
 
     /// Service-level latency class under allocation `w`:
     /// 0 = not mem, 1 = L1, 2 = L2, 3 = LLC hit, 4 = DRAM.
     #[inline]
     pub fn service_level(&self, i: usize, w: usize) -> u8 {
-        match self.codes[i] {
-            NOT_MEM => 0,
-            CODE_L1 => 1,
-            CODE_L2 => 2,
-            CODE_COLD => 4,
-            d if (d as usize) < w => 3,
-            _ => 4,
-        }
+        service_level_of(self.codes[i], w)
     }
 
     /// LLC miss count for allocation `w` (from the ATD histogram).

@@ -4,7 +4,7 @@ use crate::record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, 
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{classify_warm, MlpMonitor};
 use triad_trace::{AppSpec, PhaseSpec};
-use triad_uarch::{simulate, simulate_with_monitor, TimingConfig};
+use triad_uarch::{TimingConfig, TimingEngine};
 
 /// Database build parameters.
 #[derive(Debug, Clone, Copy)]
@@ -118,17 +118,20 @@ pub fn build_phase(spec: &PhaseSpec, cfg: &DbConfig) -> PhaseRecord {
     let mut true_mlp = vec![1.0; NC * NW];
     let mut monitor: Vec<MonitorStats> = Vec::with_capacity(NC * NW);
 
+    // One lockstep trace pass per (core, fit frequency) instead of one
+    // `simulate` call per (core, frequency, allocation): the engine advances
+    // all NW allocations together, so the trace and its classification are
+    // touched 2·NC times per phase rather than 2·NC·NW times.
+    let mut engine = TimingEngine::new();
     for c in CoreSize::ALL {
-        for w in W_MIN..=W_MAX {
-            let mut mon = MlpMonitor::table1();
-            let lo = simulate_with_monitor(
-                detailed,
-                &ct,
-                &TimingConfig::table1(c, cfg.fit_lo_hz, w),
-                &mut mon,
-            );
-            let hi = simulate(detailed, &ct, &TimingConfig::table1(c, cfg.fit_hi_hz, w));
+        let mut mons: Vec<MlpMonitor> = (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+        let lo_cfg = TimingConfig::table1(c, cfg.fit_lo_hz, W_MIN);
+        let los =
+            engine.simulate_ways_with_monitors(detailed, &ct, &lo_cfg, W_MIN..=W_MAX, &mut mons);
+        let his = engine.simulate_ways(detailed, &ct, c, cfg.fit_hi_hz, W_MIN..=W_MAX);
 
+        for (k, w) in (W_MIN..=W_MAX).enumerate() {
+            let (lo, hi, mon) = (&los[k], &his[k], &mons[k]);
             // Fit T(f) = A/f + B per instruction through both points.
             let t_lo = lo.time_s / n;
             let t_hi = hi.time_s / n;

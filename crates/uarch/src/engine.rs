@@ -1,0 +1,562 @@
+//! The reusable lockstep timing engine.
+//!
+//! [`TimingEngine`] executes the same out-of-order model as the original
+//! `simulate` free function — and is proven byte-identical to it by
+//! property tests and the campaign/phase-db goldens — but restructures the
+//! inner loop around two observations:
+//!
+//! 1. **ROB-bounded ring buffers.** The original implementation kept five
+//!    trace-length arrays (`dispatch`/`issue`/`complete`/`retire`/`class`)
+//!    alive for the whole pass. Every backward read the model performs is
+//!    bounded by the reorder buffer:
+//!
+//!    * `retire[i − rob]` and `class[i − rob]` — distance exactly `rob`;
+//!    * `issue[i − rs]` — `rs < rob` for every core size;
+//!    * `retire[i − 1]` / `retire[i − width]` — `width < rob`;
+//!    * `complete[i − d]` for a dependence distance `d` and
+//!      `complete[oldest]` for the LSQ head — *not* structurally bounded,
+//!      but provably **non-binding** beyond the ROB:
+//!
+//!      For `j ≤ i − rob`: `complete[j] ≤ retire[j]` (retirement waits for
+//!      completion, `retire[i] = max(complete[i], …)`) and `retire` is
+//!      monotone in program order (`retire[i] ≥ retire[i−1]`), so
+//!      `complete[j] ≤ retire[i − rob]`. The dispatch stage already forces
+//!      `dispatch[i] ≥ retire[i − rob]` (the ROB-occupancy constraint, and
+//!      `i ≥ rob` whenever such a `j` exists), hence
+//!      `complete[j] ≤ retire[i − rob] ≤ dispatch[i] < dispatch[i] + 1 ≤
+//!      start`. A dependence older than the ROB can therefore never move
+//!      the issue cycle, and an LSQ head older than the ROB can never
+//!      exceed the dispatch candidate that the ROB constraint already set —
+//!      in both cases the model's strict `>` comparisons leave cycle *and*
+//!      stall-attribution class untouched, so skipping the read is exact.
+//!      (Debug builds assert `retire[i − rob] ≤ dispatch[i]` and retire
+//!      monotonicity, the two legs of the proof.)
+//!
+//!    Each array therefore shrinks to a power-of-two ring of `rob` entries
+//!    (`dispatch` disappears outright: it is only read in the iteration
+//!    that writes it). The scratch drops from five trace-length vectors —
+//!    megabytes per call, reallocated every call — to a few KiB that live
+//!    inside the engine and are reused across calls.
+//!
+//! 2. **Lockstep way batching.** For a fixed core size and frequency, runs
+//!    at different LLC way allocations share everything that is expensive
+//!    to fetch — the trace itself, its classification codes, dependence
+//!    decoding, branch and LSQ bookkeeping — and differ only in per-way
+//!    cycle arithmetic. [`TimingEngine::simulate_ways`] advances all
+//!    requested allocations through the trace in **one pass**: per-way
+//!    `u64` cycle lanes (SoA, lane-major within each ring slot), one
+//!    [`DramQueue`] per lane, shared instruction decode. The phase-database
+//!    build that previously walked the same trace 15× per (core,
+//!    frequency) now touches it once.
+
+use std::ops::RangeInclusive;
+
+use crate::model::{TimingConfig, TimingResult};
+use triad_arch::{CoreParams, CoreSize};
+use triad_cache::{is_llc_code, llc_stack_dist_of, service_level_of, ClassifiedTrace, MlpMonitor};
+use triad_mem::DramQueue;
+use triad_trace::{Inst, InstKind};
+
+/// Reason the completion of an instruction was late (stall attribution).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Compute,
+    Branch,
+    CacheHit,
+    Dram,
+}
+
+/// Completion path of one instruction, decoded once and shared across
+/// lanes. Lanes run in ascending way order, so the allocations a given
+/// stack distance misses are exactly a *prefix* of the lane list — the
+/// per-lane service-level decision collapses to one shared
+/// `partition_point` instead of `nl` data-dependent branches.
+#[derive(Clone, Copy)]
+enum Path {
+    /// Same fixed latency and class on every lane (non-mem, L1, L2, or an
+    /// LLC access that hits every simulated allocation).
+    Fixed(u64, Class),
+    /// LLC access that misses every allocation (cold/evicted).
+    AllDram,
+    /// LLC access with stack distance `d`: lanes `< split` (ways ≤ d) go
+    /// to DRAM, lanes `≥ split` hit the LLC.
+    Split(usize),
+}
+
+/// Per-way-allocation simulation state (one SoA lane).
+struct Lane {
+    dram: DramQueue,
+    cycle_of_group: u64,
+    dispatched_in_group: usize,
+    branch_resume: u64,
+    dram_loads: u64,
+    dram_stores: u64,
+    true_lm: u64,
+    lm_end: u64,
+    c_branch: u64,
+    c_cache: u64,
+    c_dram: u64,
+    last_retire: u64,
+}
+
+impl Lane {
+    fn new(cfg: &TimingConfig) -> Self {
+        Lane {
+            dram: DramQueue::new(cfg.dram, cfg.freq_hz),
+            cycle_of_group: 0,
+            dispatched_in_group: 0,
+            branch_resume: 0,
+            dram_loads: 0,
+            dram_stores: 0,
+            true_lm: 0,
+            lm_end: 0,
+            c_branch: 0,
+            c_cache: 0,
+            c_dram: 0,
+            last_retire: 0,
+        }
+    }
+}
+
+/// One (ring slot, lane) entry: the per-instruction cycles the model reads
+/// back later, interleaved so a slot access touches one cache line instead
+/// of four parallel arrays.
+#[derive(Clone, Copy)]
+struct Cell {
+    issue: u64,
+    complete: u64,
+    retire: u64,
+    class: Class,
+}
+
+const EMPTY_CELL: Cell = Cell { issue: 0, complete: 0, retire: 0, class: Class::Compute };
+
+/// A reusable out-of-order timing engine: holds all scratch state across
+/// calls and simulates one or many LLC way allocations per trace pass.
+///
+/// The free functions [`crate::simulate`] / [`crate::simulate_with_monitor`]
+/// are thin wrappers over a fresh single-lane engine and remain
+/// byte-identical to the pre-engine implementation.
+#[derive(Default)]
+pub struct TimingEngine {
+    /// Per-instruction cycle ring, `cap × lanes` (lane-major within each
+    /// slot).
+    cells: Vec<Cell>,
+    /// Memory-op ordinal ring for the LSQ constraint (way-independent,
+    /// shared across lanes): the youngest `lsq` memory-op indices.
+    memops: Vec<u32>,
+    /// Per-lane LLC loads in (issue-cycle, program-index, stack-code) form;
+    /// populated only when monitors are attached.
+    llc_loads: Vec<Vec<(u64, u32, u8)>>,
+    /// Lane states for the current call.
+    lanes: Vec<Lane>,
+    /// Way-list scratch for the range-based entry points.
+    ways_buf: Vec<usize>,
+}
+
+impl TimingEngine {
+    /// A fresh engine with no scratch allocated yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate `trace` (classified as `ct`) under `cfg` — the single-lane
+    /// path, byte-identical to [`crate::simulate`].
+    pub fn simulate(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+    ) -> TimingResult {
+        self.fill_single(cfg);
+        self.run(trace, ct, cfg, 1, None)[0]
+    }
+
+    /// [`TimingEngine::simulate`], feeding every LLC load (in LLC arrival
+    /// order) into `monitor` — byte-identical to
+    /// [`crate::simulate_with_monitor`].
+    pub fn simulate_with_monitor(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+        monitor: &mut MlpMonitor,
+    ) -> TimingResult {
+        self.fill_single(cfg);
+        self.run(trace, ct, cfg, 1, Some(std::slice::from_mut(monitor)))[0]
+    }
+
+    /// Lockstep batched mode: simulate every allocation in `ways` at the
+    /// Table I latencies for `(core, freq_hz)` in **one trace pass**,
+    /// returning one [`TimingResult`] per allocation in range order. Each
+    /// result is bit-identical to a standalone [`crate::simulate`] at that
+    /// allocation.
+    pub fn simulate_ways(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        core: CoreSize,
+        freq_hz: f64,
+        ways: RangeInclusive<usize>,
+    ) -> Vec<TimingResult> {
+        let cfg = TimingConfig::table1(core, freq_hz, *ways.start());
+        self.simulate_ways_cfg(trace, ct, &cfg, ways)
+    }
+
+    /// [`TimingEngine::simulate_ways`] with explicit (non-Table I)
+    /// latencies: `cfg.ways` is overridden per lane by `ways`.
+    pub fn simulate_ways_cfg(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+        ways: RangeInclusive<usize>,
+    ) -> Vec<TimingResult> {
+        let nl = self.fill_ways(ways);
+        self.run(trace, ct, cfg, nl, None)
+    }
+
+    /// Batched mode with one [`MlpMonitor`] per way lane: lane `k` feeds
+    /// `monitors[k]` with its own arrival-ordered LLC load stream, exactly
+    /// as a standalone [`crate::simulate_with_monitor`] at that allocation
+    /// would.
+    pub fn simulate_ways_with_monitors(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+        ways: RangeInclusive<usize>,
+        monitors: &mut [MlpMonitor],
+    ) -> Vec<TimingResult> {
+        let nl = self.fill_ways(ways);
+        assert_eq!(monitors.len(), nl, "one monitor per way lane");
+        self.run(trace, ct, cfg, nl, Some(monitors))
+    }
+
+    /// Expand a way range into the lane scratch; returns the lane count.
+    fn fill_ways(&mut self, ways: RangeInclusive<usize>) -> usize {
+        self.ways_buf.clear();
+        self.ways_buf.extend(ways);
+        assert!(!self.ways_buf.is_empty(), "empty way range");
+        self.ways_buf.len()
+    }
+
+    /// Single-lane way scratch for the scalar entry points.
+    fn fill_single(&mut self, cfg: &TimingConfig) {
+        self.ways_buf.clear();
+        self.ways_buf.push(cfg.ways);
+    }
+
+    /// One DRAM access on one lane: LLC lookup, then the contention queue.
+    #[inline(always)]
+    fn dram_access(lane: &mut Lane, start: u64, lat_llc: u64, is_load: bool) -> (u64, Class) {
+        let arrival = start + lat_llc;
+        let done = lane.dram.request(arrival);
+        if is_load {
+            lane.dram_loads += 1;
+            if arrival >= lane.lm_end {
+                lane.true_lm += 1;
+                lane.lm_end = done;
+            }
+            (done, Class::Dram)
+        } else {
+            // Stores retire from the store buffer; the fill only consumes
+            // DRAM bandwidth.
+            lane.dram_stores += 1;
+            (start + 1, Class::Compute)
+        }
+    }
+
+    /// The lockstep inner loop over `nl` lanes. With `nl == 1` this is
+    /// exactly the original scalar model (the lane loop collapses); with
+    /// more lanes, instruction decode, dependence and LSQ bookkeeping are
+    /// shared and only the cycle arithmetic runs per way.
+    fn run(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+        nl: usize,
+        monitors: Option<&mut [MlpMonitor]>,
+    ) -> Vec<TimingResult> {
+        let n = trace.len();
+        assert_eq!(n, ct.len(), "trace and classification must align");
+        if n == 0 {
+            return vec![TimingResult::default(); nl];
+        }
+        let CoreParams { issue_width, rob, rs, lsq } = cfg.core.params();
+        let width = issue_width as usize;
+        let rob = rob as usize;
+        let rs = rs as usize;
+        let lsq = lsq as usize;
+        // The ring bound (module docs) needs every structural read distance
+        // within the ROB.
+        assert!(width <= rob && rs <= rob && lsq <= rob, "ring bound: RS/LSQ/width within ROB");
+
+        let cap = rob.next_power_of_two();
+        let mask = cap - 1;
+        let lcap = lsq.next_power_of_two();
+        let lmask = lcap - 1;
+
+        // (Re)size scratch. Stale values from previous calls are never
+        // read: every ring read at instruction `i` targets an index in
+        // `[i − rob, i − 1]`, all written earlier in this pass.
+        self.cells.resize(cap * nl, EMPTY_CELL);
+        self.memops.resize(lcap, 0);
+        // Ascending way order is what lets the per-instruction service-level
+        // decision collapse to a prefix split (see [`Path`]).
+        debug_assert!(self.ways_buf.windows(2).all(|p| p[0] < p[1]), "ways must ascend");
+        self.lanes.clear();
+        for _ in 0..nl {
+            self.lanes.push(Lane::new(cfg));
+        }
+        let collect_llc = monitors.is_some();
+        while self.llc_loads.len() < nl {
+            self.llc_loads.push(Vec::new());
+        }
+        if collect_llc {
+            // Upper bound: `ct.llc_accesses` counts LLC loads *and* stores,
+            // while only loads are collected — no reallocation, slight
+            // over-reservation.
+            for lv in self.llc_loads.iter_mut().take(nl) {
+                lv.clear();
+                lv.reserve(ct.llc_accesses as usize);
+            }
+        }
+
+        let codes = ct.codes();
+        let cells = &mut self.cells;
+        let memops = &mut self.memops;
+        let lanes = &mut self.lanes;
+        let llc = &mut self.llc_loads;
+        let ws = &self.ways_buf;
+        let lat_l1 = cfg.lat_l1 as u64;
+        let lat_l2 = cfg.lat_l2 as u64;
+        let lat_llc = cfg.lat_llc as u64;
+        let lat_longop = cfg.lat_longop as u64;
+        let penalty = cfg.mispredict_penalty as u64;
+        let mut m = 0usize; // memory ops pushed so far
+
+        for (i, inst) in trace.iter().enumerate() {
+            // ---- shared decode (once per instruction, not per way) ----
+            let code = codes[i];
+            let kind = inst.kind;
+            let is_mem = kind.is_mem();
+            let slot = (i & mask) * nl;
+            let rob_slot = if i >= rob { Some(((i - rob) & mask) * nl) } else { None };
+            let rs_slot = if i >= rs { Some(((i - rs) & mask) * nl) } else { None };
+            // LSQ head: the lsq-th-youngest memory op, if it can still bind
+            // (older than the ROB ⇒ provably non-binding, module docs).
+            let lsq_slot = if is_mem && m >= lsq {
+                let oldest = memops[(m - lsq) & lmask] as usize;
+                if i - oldest < rob {
+                    Some((oldest & mask) * nl)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            if is_mem {
+                memops[m & lmask] = i as u32;
+                m += 1;
+            }
+            // Producers before the detailed window (dep distance > i)
+            // completed during warmup; producers older than the ROB are
+            // non-binding (module docs). Both impose no constraint.
+            let d1 = inst.dep1 as usize;
+            let d2 = inst.dep2 as usize;
+            let dep1_slot =
+                if d1 > 0 && d1 <= i && d1 < rob { Some(((i - d1) & mask) * nl) } else { None };
+            let dep2_slot =
+                if d2 > 0 && d2 <= i && d2 < rob { Some(((i - d2) & mask) * nl) } else { None };
+            let mispredict = kind == InstKind::Branch && inst.mispredict;
+            let ret1_slot = if i >= 1 { Some(((i - 1) & mask) * nl) } else { None };
+            let retw_slot = if i >= width { Some(((i - width) & mask) * nl) } else { None };
+            let is_load = kind == InstKind::Load;
+            let collect_load = collect_llc && is_load && is_llc_code(code);
+            // Completion path, shared across lanes (see [`Path`]): the
+            // service level at the *smallest* allocation decides the shape,
+            // and for tracked stack distances the DRAM lanes are the prefix
+            // with `ways ≤ dist`.
+            let path = match kind {
+                InstKind::Alu | InstKind::Branch => Path::Fixed(1, Class::Compute),
+                InstKind::LongOp => Path::Fixed(lat_longop, Class::Compute),
+                InstKind::Load | InstKind::Store => match service_level_of(code, ws[0]) {
+                    1 => Path::Fixed(lat_l1, Class::Compute),
+                    2 => Path::Fixed(lat_l2, Class::CacheHit),
+                    3 => Path::Fixed(lat_llc, Class::CacheHit),
+                    _ => {
+                        if code <= 15 {
+                            let split = ws.partition_point(|&w| w <= code as usize);
+                            if split == nl {
+                                Path::AllDram
+                            } else {
+                                Path::Split(split)
+                            }
+                        } else {
+                            Path::AllDram
+                        }
+                    }
+                },
+            };
+
+            for (k, lane) in lanes.iter_mut().enumerate() {
+                // ---- dispatch ----
+                let mut cand = lane.cycle_of_group;
+                let mut reason = Class::Compute;
+                if lane.branch_resume > cand {
+                    cand = lane.branch_resume;
+                    reason = Class::Branch;
+                }
+                if let Some(rb) = rob_slot {
+                    let cell = &cells[rb + k];
+                    if cell.retire > cand {
+                        cand = cell.retire;
+                        reason = cell.class; // blocked on the ROB head's class
+                    }
+                }
+                if let Some(rsb) = rs_slot {
+                    let lim = cells[rsb + k].issue;
+                    if lim > cand {
+                        cand = lim;
+                        reason = Class::Compute; // scheduler pressure is core-sized
+                    }
+                }
+                if let Some(ob) = lsq_slot {
+                    let cell = &cells[ob + k];
+                    if cell.complete > cand {
+                        cand = cell.complete;
+                        reason = cell.class;
+                    }
+                }
+                if cand > lane.cycle_of_group {
+                    lane.cycle_of_group = cand;
+                    lane.dispatched_in_group = 0;
+                } else if lane.dispatched_in_group >= width {
+                    lane.cycle_of_group += 1;
+                    lane.dispatched_in_group = 0;
+                }
+                let dispatch = lane.cycle_of_group;
+                lane.dispatched_in_group += 1;
+                // Record what stalled this instruction's *dispatch* so pure
+                // front-end (branch) starvation is attributable at retire.
+                let dispatch_reason = reason;
+                // First leg of the ring-bound proof: the ROB constraint
+                // pins dispatch at or after the ROB head's retirement.
+                if let Some(rb) = rob_slot {
+                    debug_assert!(cells[rb + k].retire <= dispatch, "ROB bound violated");
+                }
+
+                // ---- issue (operand readiness) ----
+                let mut start = dispatch + 1;
+                if let Some(db) = dep1_slot {
+                    start = start.max(cells[db + k].complete);
+                }
+                if let Some(db) = dep2_slot {
+                    start = start.max(cells[db + k].complete);
+                }
+
+                // ---- complete ----
+                let (fin, cls) = match path {
+                    Path::Fixed(lat, c) => (start + lat, c),
+                    Path::AllDram => Self::dram_access(lane, start, lat_llc, is_load),
+                    Path::Split(split) => {
+                        if k < split {
+                            Self::dram_access(lane, start, lat_llc, is_load)
+                        } else {
+                            (start + lat_llc, Class::CacheHit)
+                        }
+                    }
+                };
+                // Loads that reach the LLC (hit or miss) probe the ATD.
+                if collect_load {
+                    llc[k].push((start, i as u32, code));
+                }
+                let final_class = if cls == Class::Compute && dispatch_reason == Class::Branch {
+                    Class::Branch
+                } else {
+                    cls
+                };
+
+                // ---- branch redirect ----
+                if mispredict {
+                    lane.branch_resume = fin + penalty;
+                }
+
+                // ---- retire (in order, `width` per cycle) + fused stall
+                // attribution: the retire delay beyond the structural
+                // in-order slot `base` is charged to the delaying class
+                // (this replaces the former second O(n) sweep — `base` is
+                // exactly what that sweep recomputed).
+                let mut base = 0u64;
+                if let Some(rb) = ret1_slot {
+                    base = cells[rb + k].retire;
+                }
+                if let Some(rb) = retw_slot {
+                    base = base.max(cells[rb + k].retire + 1);
+                }
+                let r = fin.max(base);
+                // Second leg of the ring-bound proof: retire is monotone.
+                debug_assert!(r >= lane.last_retire, "retire must be monotone");
+                lane.last_retire = r;
+                cells[slot + k] =
+                    Cell { issue: start, complete: fin, retire: r, class: final_class };
+                let gap = r - base;
+                if gap > 0 {
+                    match final_class {
+                        Class::Dram => lane.c_dram += gap,
+                        Class::CacheHit => lane.c_cache += gap,
+                        Class::Branch => lane.c_branch += gap,
+                        Class::Compute => {}
+                    }
+                }
+            }
+        }
+
+        // Feed the MLP monitors in LLC arrival order, one per lane.
+        if let Some(mons) = monitors {
+            assert_eq!(mons.len(), nl, "one monitor per way lane");
+            for (k, mon) in mons.iter_mut().enumerate() {
+                let lv = &mut llc[k];
+                lv.sort_by_key(|&(t, idx, _)| (t, idx));
+                for &(_, idx, code) in lv.iter() {
+                    mon.on_llc_load(idx as u64, llc_stack_dist_of(code));
+                }
+            }
+        }
+
+        lanes
+            .iter()
+            .map(|lane| {
+                let cycles = lane.last_retire.max(1);
+                let to_s = |c: u64| c as f64 / cfg.freq_hz;
+                let time_s = to_s(cycles);
+                let t_branch_s = to_s(lane.c_branch);
+                let t_cache_s = to_s(lane.c_cache);
+                let tmem_s = to_s(lane.c_dram);
+                let t0_s = (time_s - t_branch_s - t_cache_s - tmem_s).max(0.0);
+                let ipc = n as f64 / cycles as f64;
+                TimingResult {
+                    insts: n as u64,
+                    cycles,
+                    time_s,
+                    t0_s,
+                    t_branch_s,
+                    t_cache_s,
+                    tmem_s,
+                    dram_loads: lane.dram_loads,
+                    dram_stores: lane.dram_stores,
+                    true_leading_misses: lane.true_lm,
+                    mlp: if lane.true_lm > 0 {
+                        lane.dram_loads as f64 / lane.true_lm as f64
+                    } else {
+                        1.0
+                    },
+                    ipc,
+                    util: ipc / width as f64,
+                }
+            })
+            .collect()
+    }
+}

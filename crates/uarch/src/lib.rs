@@ -24,7 +24,16 @@
 //!   ATD heuristic of `triad-cache` approximates);
 //! * the arrival-ordered LLC load stream, which can be fed straight into an
 //!   [`triad_cache::MlpMonitor`] to emulate the proposed hardware.
+//!
+//! The implementation lives in the reusable [`engine::TimingEngine`]:
+//! ROB-bounded ring buffers instead of trace-length scratch, plus a
+//! **lockstep batched mode** that simulates every LLC way allocation in
+//! one trace pass — the unit the phase-database build sweeps. The
+//! [`simulate`]/[`simulate_with_monitor`] free functions are thin
+//! single-lane wrappers kept byte-identical to the original model.
 
+pub mod engine;
 pub mod model;
 
+pub use engine::TimingEngine;
 pub use model::{simulate, simulate_with_monitor, TimingConfig, TimingResult};

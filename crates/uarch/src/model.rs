@@ -1,9 +1,8 @@
 //! The one-pass out-of-order timing model.
 
-use triad_arch::{CoreParams, CoreSize};
+use triad_arch::CoreSize;
 use triad_cache::{ClassifiedTrace, MlpMonitor};
-use triad_mem::{DramParams, DramQueue};
-use triad_trace::InstKind;
+use triad_mem::DramParams;
 
 /// Configuration of one timing run.
 #[derive(Debug, Clone, Copy)]
@@ -89,25 +88,21 @@ impl TimingResult {
     }
 }
 
-/// Reason the completion of an instruction was late (for stall attribution).
-#[derive(Clone, Copy, PartialEq)]
-enum Class {
-    Compute,
-    Branch,
-    CacheHit,
-    Dram,
-}
-
 /// Simulate `trace` (classified as `ct`) under `cfg`.
 ///
 /// `trace` must be the *detailed* portion matching `ct` (i.e. generated with
 /// the same warmup split passed to `classify_warm`).
+///
+/// Thin wrapper over a fresh single-lane [`crate::TimingEngine`]; callers
+/// that simulate many intervals or allocations should hold an engine and
+/// reuse its scratch (or batch allocations with
+/// [`crate::TimingEngine::simulate_ways`]).
 pub fn simulate(
     trace: &[triad_trace::Inst],
     ct: &ClassifiedTrace,
     cfg: &TimingConfig,
 ) -> TimingResult {
-    simulate_inner(trace, ct, cfg, None)
+    crate::TimingEngine::new().simulate(trace, ct, cfg)
 }
 
 /// [`simulate`], additionally feeding every LLC **load** (in LLC arrival
@@ -120,217 +115,7 @@ pub fn simulate_with_monitor(
     cfg: &TimingConfig,
     monitor: &mut MlpMonitor,
 ) -> TimingResult {
-    simulate_inner(trace, ct, cfg, Some(monitor))
-}
-
-fn simulate_inner(
-    trace: &[triad_trace::Inst],
-    ct: &ClassifiedTrace,
-    cfg: &TimingConfig,
-    monitor: Option<&mut MlpMonitor>,
-) -> TimingResult {
-    let n = trace.len();
-    assert_eq!(n, ct.len(), "trace and classification must align");
-    if n == 0 {
-        return TimingResult::default();
-    }
-    let CoreParams { issue_width, rob, rs, lsq } = cfg.core.params();
-    let width = issue_width as usize;
-    let rob = rob as usize;
-    let rs = rs as usize;
-    let lsq = lsq as usize;
-
-    let mut dispatch = vec![0u64; n];
-    let mut issue = vec![0u64; n];
-    let mut complete = vec![0u64; n];
-    let mut retire = vec![0u64; n];
-    let mut class = vec![Class::Compute; n];
-    // Memory-op ordinal ring for the LSQ constraint.
-    let mut memops: Vec<usize> = Vec::with_capacity(n / 2);
-    // LLC loads in (issue-cycle, program-index, stack-code) form.
-    let mut llc_loads: Vec<(u64, u32, u8)> = Vec::new();
-
-    let mut dram = DramQueue::new(cfg.dram, cfg.freq_hz);
-    let mut branch_resume = 0u64; // dispatch blocked until here after mispredicts
-    let mut cycle_of_group = 0u64; // current dispatch cycle
-    let mut dispatched_in_group = 0usize;
-
-    let (mut dram_loads, mut dram_stores, mut true_lm) = (0u64, 0u64, 0u64);
-    let mut lm_end = 0u64; // completion of the last counted leading miss
-
-    for i in 0..n {
-        let inst = &trace[i];
-        // ---- dispatch ----
-        let mut cand = cycle_of_group;
-        let mut reason = Class::Compute;
-        if branch_resume > cand {
-            cand = branch_resume;
-            reason = Class::Branch;
-        }
-        if i >= rob {
-            let lim = retire[i - rob];
-            if lim > cand {
-                cand = lim;
-                reason = class[i - rob]; // blocked on the ROB head's class
-            }
-        }
-        if i >= rs {
-            let lim = issue[i - rs];
-            if lim > cand {
-                cand = lim;
-                reason = Class::Compute; // scheduler pressure is core-sized
-            }
-        }
-        if inst.kind.is_mem() {
-            if memops.len() >= lsq {
-                let oldest = memops[memops.len() - lsq];
-                let lim = complete[oldest];
-                if lim > cand {
-                    cand = lim;
-                    reason = class[oldest];
-                }
-            }
-            memops.push(i);
-        }
-        if cand > cycle_of_group {
-            cycle_of_group = cand;
-            dispatched_in_group = 0;
-        } else if dispatched_in_group >= width {
-            cycle_of_group += 1;
-            dispatched_in_group = 0;
-        }
-        dispatch[i] = cycle_of_group;
-        dispatched_in_group += 1;
-        // Record what stalled this instruction's *dispatch* so that pure
-        // front-end (branch) starvation is attributable at retire time.
-        let dispatch_reason = reason;
-
-        // ---- issue (operand readiness) ----
-        // Producers before the detailed window (dep distance > i) completed
-        // during warmup and impose no constraint.
-        let mut start = dispatch[i] + 1;
-        if inst.dep1 > 0 && (inst.dep1 as usize) <= i {
-            start = start.max(complete[i - inst.dep1 as usize]);
-        }
-        if inst.dep2 > 0 && (inst.dep2 as usize) <= i {
-            start = start.max(complete[i - inst.dep2 as usize]);
-        }
-        issue[i] = start;
-
-        // ---- complete ----
-        let (fin, cls) = match inst.kind {
-            InstKind::Alu => (start + 1, Class::Compute),
-            InstKind::LongOp => (start + cfg.lat_longop as u64, Class::Compute),
-            InstKind::Branch => (start + 1, Class::Compute),
-            InstKind::Load | InstKind::Store => match ct.service_level(i, cfg.ways) {
-                1 => (start + cfg.lat_l1 as u64, Class::Compute),
-                2 => (start + cfg.lat_l2 as u64, Class::CacheHit),
-                3 => (start + cfg.lat_llc as u64, Class::CacheHit),
-                _ => {
-                    // DRAM access: LLC lookup first, then the memory channel.
-                    let arrival = start + cfg.lat_llc as u64;
-                    let done = dram.request(arrival);
-                    if inst.kind == InstKind::Load {
-                        dram_loads += 1;
-                        if arrival >= lm_end {
-                            true_lm += 1;
-                            lm_end = done;
-                        }
-                        (done, Class::Dram)
-                    } else {
-                        // Stores retire from the store buffer; the fill only
-                        // consumes DRAM bandwidth.
-                        dram_stores += 1;
-                        (start + 1, Class::Compute)
-                    }
-                }
-            },
-        };
-        // Loads that reach the LLC (hit or miss) probe the ATD.
-        if inst.kind == InstKind::Load && ct.is_llc_access(i) {
-            llc_loads.push((start, i as u32, ct.code(i)));
-        }
-        complete[i] = fin;
-        class[i] = if cls == Class::Compute && dispatch_reason == Class::Branch {
-            Class::Branch
-        } else {
-            cls
-        };
-
-        // ---- branch redirect ----
-        if inst.kind == InstKind::Branch && inst.mispredict {
-            branch_resume = fin + cfg.mispredict_penalty as u64;
-        }
-
-        // ---- retire (in order, `width` per cycle) ----
-        let mut r = complete[i];
-        if i >= 1 {
-            r = r.max(retire[i - 1]);
-        }
-        if i >= width {
-            r = r.max(retire[i - width] + 1);
-        }
-        retire[i] = r;
-    }
-
-    // ---- stall attribution over retire slots ----
-    // Each instruction's retire delay beyond its structural in-order slot is
-    // charged to the class of the instruction that caused the delay.
-    let (mut c_branch, mut c_cache, mut c_dram) = (0u64, 0u64, 0u64);
-    for i in 0..n {
-        let mut base = 0u64;
-        if i >= 1 {
-            base = base.max(retire[i - 1]);
-        }
-        if i >= width {
-            base = base.max(retire[i - width] + 1);
-        }
-        let gap = retire[i].saturating_sub(base);
-        if gap == 0 {
-            continue;
-        }
-        match class[i] {
-            Class::Dram => c_dram += gap,
-            Class::CacheHit => c_cache += gap,
-            Class::Branch => c_branch += gap,
-            Class::Compute => {}
-        }
-    }
-
-    let cycles = retire[n - 1].max(1);
-    let to_s = |c: u64| c as f64 / cfg.freq_hz;
-    let time_s = to_s(cycles);
-    let t_branch_s = to_s(c_branch);
-    let t_cache_s = to_s(c_cache);
-    let tmem_s = to_s(c_dram);
-    let t0_s = (time_s - t_branch_s - t_cache_s - tmem_s).max(0.0);
-    let ipc = n as f64 / cycles as f64;
-
-    // Feed the MLP monitor in LLC arrival order.
-    if let Some(mon) = monitor {
-        llc_loads.sort_by_key(|&(t, idx, _)| (t, idx));
-        for &(_, idx, code) in &llc_loads {
-            // `code` ≤ 15 is a stack distance; 253 (cold) maps to COLD.
-            let dist = if code <= 15 { code } else { triad_cache::atd::COLD };
-            mon.on_llc_load(idx as u64, dist);
-        }
-    }
-
-    TimingResult {
-        insts: n as u64,
-        cycles,
-        time_s,
-        t0_s,
-        t_branch_s,
-        t_cache_s,
-        tmem_s,
-        dram_loads,
-        dram_stores,
-        true_leading_misses: true_lm,
-        mlp: if true_lm > 0 { dram_loads as f64 / true_lm as f64 } else { 1.0 },
-        ipc,
-        util: ipc / width as f64,
-    }
+    crate::TimingEngine::new().simulate_with_monitor(trace, ct, cfg, monitor)
 }
 
 #[cfg(test)]

@@ -1,0 +1,164 @@
+//! Engine-equivalence property tests: the lockstep batched path must be
+//! **bit-identical** to the legacy single-configuration path for every
+//! lane — over randomized phases, all core sizes, both database fit
+//! frequencies, with and without the MLP monitor attached.
+
+use triad_arch::{CacheGeometry, CoreSize};
+use triad_cache::{classify_warm, MlpMonitor};
+use triad_trace::{AccessPattern, MemRegion, PhaseSpec};
+use triad_uarch::{simulate, simulate_with_monitor, TimingConfig, TimingEngine};
+use triad_util::rand::rngs::StdRng;
+use triad_util::rand::{RngExt, SeedableRng};
+
+const W_MIN: usize = 2;
+const W_MAX: usize = 16;
+
+/// Bitwise equality of two results (f64s compared by bit pattern, so this
+/// is stricter than `PartialEq` — byte-identical artifacts require it).
+fn assert_bits_eq(a: &triad_uarch::TimingResult, b: &triad_uarch::TimingResult, ctx: &str) {
+    let ints = |r: &triad_uarch::TimingResult| {
+        (r.insts, r.cycles, r.dram_loads, r.dram_stores, r.true_leading_misses)
+    };
+    let floats = |r: &triad_uarch::TimingResult| {
+        [r.time_s, r.t0_s, r.t_branch_s, r.t_cache_s, r.tmem_s, r.mlp, r.ipc, r.util]
+            .map(f64::to_bits)
+    };
+    assert_eq!(ints(a), ints(b), "{ctx}: counter mismatch");
+    assert_eq!(floats(a), floats(b), "{ctx}: float bit-pattern mismatch");
+}
+
+fn random_spec(rng: &mut StdRng) -> (PhaseSpec, u64) {
+    let r = |rng: &mut StdRng, lo: f64, hi: f64| lo + rng.random::<f64>() * (hi - lo);
+    let spec = PhaseSpec {
+        tag: 4,
+        load_frac: r(rng, 0.05, 0.35),
+        store_frac: r(rng, 0.0, 0.12),
+        branch_frac: r(rng, 0.0, 0.2),
+        longop_frac: r(rng, 0.0, 0.25),
+        mispredict_rate: r(rng, 0.0, 0.08),
+        dep_mean: r(rng, 2.0, 14.0),
+        dep2_prob: 0.3,
+        chase_frac: r(rng, 0.0, 0.9),
+        burst: r(rng, 1.0, 24.0),
+        addr_dep: r(rng, 0.0, 1.0),
+        regions: vec![
+            MemRegion::reuse_kib(8, 0.5),
+            MemRegion::reuse_kib(rng.random_range(32u64..256), 0.3),
+            MemRegion {
+                blocks: rng.random_range(16u64..1 << 20),
+                weight: 0.2,
+                pattern: AccessPattern::Uniform,
+            },
+        ],
+    };
+    (spec, rng.random::<u64>())
+}
+
+/// Batched lockstep vs legacy per-configuration calls, no monitor: every
+/// lane's `TimingResult` is bit-identical, across randomized phases, all
+/// core sizes and both fit frequencies.
+#[test]
+fn batched_matches_legacy_single_config() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let mut engine = TimingEngine::new();
+    for trial in 0..6 {
+        let (spec, seed) = random_spec(&mut rng);
+        let t = spec.generate(12_000, seed);
+        let ct = classify_warm(&t, &geom, 4_000);
+        let detailed = &t.insts[4_000..];
+        for c in CoreSize::ALL {
+            for freq in [1.0e9, 3.25e9] {
+                let batched = engine.simulate_ways(detailed, &ct, c, freq, W_MIN..=W_MAX);
+                assert_eq!(batched.len(), W_MAX - W_MIN + 1);
+                for (k, w) in (W_MIN..=W_MAX).enumerate() {
+                    let legacy = simulate(detailed, &ct, &TimingConfig::table1(c, freq, w));
+                    assert_bits_eq(
+                        &batched[k],
+                        &legacy,
+                        &format!("trial {trial} {c} f={freq:.2e} w={w}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// With monitors attached: lane `k`'s monitor must end in exactly the
+/// state a standalone `simulate_with_monitor` at that allocation leaves —
+/// compared over every (core size, way) counter the monitor tracks.
+#[test]
+fn batched_monitors_match_legacy_monitors() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut rng = StdRng::seed_from_u64(0x0A17);
+    let mut engine = TimingEngine::new();
+    for trial in 0..3 {
+        let (spec, seed) = random_spec(&mut rng);
+        let t = spec.generate(12_000, seed);
+        let ct = classify_warm(&t, &geom, 4_000);
+        let detailed = &t.insts[4_000..];
+        for c in CoreSize::ALL {
+            let mut mons: Vec<MlpMonitor> = (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+            let cfg = TimingConfig::table1(c, 1.0e9, W_MIN);
+            let batched =
+                engine.simulate_ways_with_monitors(detailed, &ct, &cfg, W_MIN..=W_MAX, &mut mons);
+            for (k, w) in (W_MIN..=W_MAX).enumerate() {
+                let mut legacy_mon = MlpMonitor::table1();
+                let legacy = simulate_with_monitor(
+                    detailed,
+                    &ct,
+                    &TimingConfig::table1(c, 1.0e9, w),
+                    &mut legacy_mon,
+                );
+                assert_bits_eq(&batched[k], &legacy, &format!("trial {trial} {c} w={w}"));
+                for tc in CoreSize::ALL {
+                    for tw in W_MIN..=W_MAX {
+                        assert_eq!(
+                            mons[k].lm_count(tc, tw),
+                            legacy_mon.lm_count(tc, tw),
+                            "trial {trial} {c} w={w}: lm({tc},{tw})"
+                        );
+                        assert_eq!(
+                            mons[k].ov_count(tc, tw),
+                            legacy_mon.ov_count(tc, tw),
+                            "trial {trial} {c} w={w}: ov({tc},{tw})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scratch reuse must not leak state between calls: interleaving
+/// different traces, cores and frequencies through one engine gives the
+/// same results as fresh engines.
+#[test]
+fn engine_reuse_is_stateless_across_calls() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let (spec_a, seed_a) = random_spec(&mut rng);
+    let (spec_b, seed_b) = random_spec(&mut rng);
+    let ta = spec_a.generate(9_000, seed_a);
+    let tb = spec_b.generate(5_000, seed_b);
+    let cta = classify_warm(&ta, &geom, 3_000);
+    let ctb = classify_warm(&tb, &geom, 1_000);
+    let da = &ta.insts[3_000..];
+    let db = &tb.insts[1_000..];
+
+    let mut shared = TimingEngine::new();
+    // Big core first so later smaller-ROB calls run inside stale scratch.
+    let first = shared.simulate_ways(da, &cta, CoreSize::L, 3.25e9, W_MIN..=W_MAX);
+    let b_scalar = shared.simulate(db, &ctb, &TimingConfig::table1(CoreSize::S, 2.0e9, 5));
+    let again = shared.simulate_ways(da, &cta, CoreSize::L, 3.25e9, W_MIN..=W_MAX);
+    for (x, y) in first.iter().zip(&again) {
+        assert_bits_eq(x, y, "repeat batched call");
+    }
+    let fresh = simulate(db, &ctb, &TimingConfig::table1(CoreSize::S, 2.0e9, 5));
+    assert_bits_eq(&b_scalar, &fresh, "scalar after batched");
+    // Partial way ranges agree with the full sweep's matching lanes.
+    let sub = shared.simulate_ways(da, &cta, CoreSize::L, 3.25e9, 6..=9);
+    for (k, w) in (6..=9).enumerate() {
+        assert_bits_eq(&sub[k], &first[w - W_MIN], "partial range lane");
+    }
+}

@@ -12,6 +12,29 @@ fn apps() -> Vec<AppSpec> {
     triad::trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect()
 }
 
+/// SHA-256 of the persisted fast-config {mcf, libquantum, povray} artifact,
+/// captured from the pre-engine (PR 4) `build_phase`. The lockstep batched
+/// engine must keep every phase-database artifact **byte-identical** — a
+/// drift here means the timing model's results changed, not just its speed.
+/// (Legitimate model/trace changes must update this constant deliberately.)
+const ARTIFACT_SHA256: &str = "4c3b392fbaad78a948b3790d305da9148092b12630f4ac968d6961a20ecf412c";
+
+#[test]
+fn store_artifact_digest_is_unchanged() {
+    let names = ["mcf", "libquantum", "povray"];
+    let apps: Vec<AppSpec> =
+        triad::trace::suite().into_iter().filter(|a| names.contains(&a.name)).collect();
+    let dir = std::env::temp_dir().join(format!("triad-db-store-digest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let resolved = DbStore::new(&dir).resolve(&apps, &DbConfig::fast());
+    let bytes = std::fs::read(&resolved.path).unwrap();
+    let mut h = triad_util::hash::Sha256::new();
+    h.update(&bytes);
+    let digest = triad_util::hash::hex(&h.finalize());
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(digest, ARTIFACT_SHA256, "phase-db artifact bytes drifted");
+}
+
 fn campaign() -> Campaign {
     Campaign::new(vec![
         ExperimentSpec::new("idle", &["mcf", "povray"]).rm(None).target_intervals(6),
