@@ -7,9 +7,12 @@
 //! engine modes for a memory-bound and a compute-bound phase:
 //!
 //! * **scalar** — one [`TimingEngine::simulate`] call per interval (the
-//!   legacy unit; ns/instruction), and
+//!   legacy unit; ns/instruction),
 //! * **batched** — one [`TimingEngine::simulate_ways`] lockstep pass over
-//!   the full 15-allocation ways grid (ns per instruction·grid-point).
+//!   the full 15-allocation ways grid (ns per instruction·grid-point), and
+//! * **fused** — one [`TimingEngine::simulate_lanes`] pass over the
+//!   database build's 30-lane mixed-frequency plan, versus the two
+//!   single-frequency passes it replaced.
 //!
 //! Run with `cargo bench -p triad-bench --bench timing_model`; set
 //! `TRIAD_BENCH_BUDGET_MS` to shrink the measurement window (CI smoke).
@@ -19,7 +22,7 @@ use std::time::Duration;
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::classify_warm;
 use triad_phasedb::{DbConfig, W_MAX, W_MIN};
-use triad_uarch::{TimingConfig, TimingEngine};
+use triad_uarch::{LaneSpec, TimingConfig, TimingEngine};
 use triad_util::bench::{bench, budget_from_env, speedup_gate};
 
 /// PR 4 baseline (reference dev box, 2026-07-28, release build): the
@@ -38,6 +41,12 @@ const SCALAR_BASELINE_NS_PER_INST: f64 = 30.0;
 /// the dependence decode are touched once instead of 15×.
 const BATCHED_BASELINE_NS_PER_GRID_INST: f64 = 10.5;
 
+/// Recorded with the fused mixed-frequency engine (same box, 2026-08-07):
+/// the 30-lane pass costs ~11.5 ns/(inst·lane) on the memory-bound
+/// archetype (nothing dedups) and ~1.3 ns/(inst·lane) on the streaming
+/// archetype (way-equivalent lanes collapse to one representative).
+const FUSED_BASELINE_NS_PER_LANE_INST: f64 = 11.5;
+
 fn main() {
     let cfg = DbConfig::default_config();
     let geom = CacheGeometry::table1_scaled(4, cfg.scale);
@@ -46,6 +55,7 @@ fn main() {
 
     let mut worst_scalar = 0.0f64;
     let mut worst_batched = 0.0f64;
+    let mut worst_fused = 0.0f64;
     let mut worst_ratio = f64::INFINITY;
     let mut engine = TimingEngine::new();
     for name in ["mcf", "povray"] {
@@ -83,14 +93,58 @@ fn main() {
             "timing_model/{name:<10} scalar {scalar_ns:>6.1} ns/inst   batched {batched_ns:>6.1} \
              ns/(inst*way)   lockstep speedup {ratio:>5.2}x"
         );
+
+        // The db build's fused unit: both fit frequencies as one 30-lane
+        // pass, against the two single-frequency passes it replaced.
+        let lanes: Vec<LaneSpec> = (W_MIN..=W_MAX)
+            .flat_map(|w| [LaneSpec::new(w, cfg.fit_lo_hz), LaneSpec::new(w, cfg.fit_hi_hz)])
+            .collect();
+        let lane_cfg = TimingConfig::table1(CoreSize::M, cfg.fit_lo_hz, W_MIN);
+        let two_pass = bench(
+            &format!("timing_model/two_pass_2f_{name}"),
+            Some((n * nw * 2.0) as u64),
+            budget,
+            || {
+                black_box(engine.simulate_ways(
+                    detailed,
+                    &ct,
+                    CoreSize::M,
+                    cfg.fit_lo_hz,
+                    W_MIN..=W_MAX,
+                ));
+                black_box(engine.simulate_ways(
+                    detailed,
+                    &ct,
+                    CoreSize::M,
+                    cfg.fit_hi_hz,
+                    W_MIN..=W_MAX,
+                ));
+            },
+        );
+        let fused = bench(
+            &format!("timing_model/fused_2f_{name}"),
+            Some((n * nw * 2.0) as u64),
+            budget,
+            || {
+                black_box(engine.simulate_lanes(detailed, &ct, &lane_cfg, &lanes, &mut []));
+            },
+        );
+        let fused_ns = fused.secs_per_iter * 1e9 / (n * nw * 2.0);
+        let fused_ratio = two_pass.secs_per_iter / fused.secs_per_iter;
+        println!(
+            "timing_model/{name:<10} fused 30-lane {fused_ns:>6.1} ns/(inst*lane)   \
+             fused-over-two-pass {fused_ratio:>5.2}x"
+        );
         worst_scalar = worst_scalar.max(scalar_ns);
         worst_batched = worst_batched.max(batched_ns);
+        worst_fused = worst_fused.max(fused_ns);
         worst_ratio = worst_ratio.min(ratio);
     }
     println!(
         "timing_model/baseline   PR4 {PR4_BASELINE_NS_PER_INST:.1} ns/inst per allocation -> \
          scalar {SCALAR_BASELINE_NS_PER_INST:.1} ns/inst + batched \
-         {BATCHED_BASELINE_NS_PER_GRID_INST:.1} ns/(inst*way) (recorded 2026-07-28)"
+         {BATCHED_BASELINE_NS_PER_GRID_INST:.1} ns/(inst*way) (recorded 2026-07-28) -> \
+         fused {FUSED_BASELINE_NS_PER_LANE_INST:.1} ns/(inst*lane) (recorded 2026-08-07)"
     );
 
     // Hard gates. The lockstep claim is machine-relative (both sides
@@ -112,5 +166,10 @@ fn main() {
         worst_batched < BATCHED_BASELINE_NS_PER_GRID_INST * 50.0,
         "batched inner loop regressed catastrophically: {worst_batched:.1} ns/(inst*way) \
          vs recorded {BATCHED_BASELINE_NS_PER_GRID_INST:.1}"
+    );
+    assert!(
+        worst_fused < FUSED_BASELINE_NS_PER_LANE_INST * 50.0,
+        "fused mixed-frequency pass regressed catastrophically: {worst_fused:.1} ns/(inst*lane) \
+         vs recorded {FUSED_BASELINE_NS_PER_LANE_INST:.1}"
     );
 }

@@ -53,8 +53,15 @@ impl Atd {
     /// Record an access and return its stack distance (recency position),
     /// or [`COLD`] if the tag was not present in any tracked position.
     pub fn access(&mut self, addr: u64) -> u8 {
-        let set = ((addr >> 6) & self.set_mask) as usize;
-        let tag = addr >> 6;
+        self.access_block(addr >> 6)
+    }
+
+    /// [`Atd::access`] by 64-byte block index (`addr >> 6`). Lets a caller
+    /// probing L1/L2/ATD in sequence compute the shift once.
+    #[inline]
+    pub fn access_block(&mut self, block: u64) -> u8 {
+        let set = (block & self.set_mask) as usize;
+        let tag = block;
         let base = set * self.max_ways;
         let slice = &mut self.tags[base..base + self.max_ways];
         let dist = match slice.iter().position(|&t| t == tag) {

@@ -14,7 +14,7 @@
 use crate::atd::{Atd, COLD};
 use crate::lru::SetAssocCache;
 use triad_arch::CacheGeometry;
-use triad_trace::{InstKind, Trace};
+use triad_trace::{Inst, InstKind, PhaseSpec, Trace};
 
 /// Classification of one memory access (compact `u8` encoding inside
 /// [`ClassifiedTrace`]).
@@ -38,6 +38,10 @@ pub enum AccessClass {
 pub struct ClassifiedTrace {
     /// One code per instruction (`CODE_*` encoding; non-memory = NOT_MEM).
     codes: Vec<u8>,
+    /// LLC **loads** histogrammed by stack distance; the last slot
+    /// (`max_ways`) collects cold/beyond-directory loads. Filled during
+    /// classification so load-only miss curves need no second trace sweep.
+    load_hist: Vec<u64>,
     /// ATD state after the pass (hit histogram + miss count = miss curves).
     pub atd: Atd,
     /// L1D hits.
@@ -151,6 +155,19 @@ impl ClassifiedTrace {
         (self.llc_misses(w) as f64 * self.store_frac_at_llc).round() as u64
     }
 
+    /// LLC **load** misses for allocation `w`: loads whose stack distance is
+    /// `≥ w` (including cold/beyond-directory loads). Computed from the
+    /// histogram filled during classification.
+    pub fn llc_load_misses(&self, w: usize) -> u64 {
+        assert!(w >= 1 && w < self.load_hist.len());
+        self.load_hist[w..].iter().sum()
+    }
+
+    /// Raw load-miss histogram by stack distance (last slot = cold/beyond).
+    pub fn load_hist(&self) -> &[u64] {
+        &self.load_hist
+    }
+
     /// Number of instructions in the classified trace.
     pub fn len(&self) -> usize {
         self.codes.len()
@@ -167,6 +184,102 @@ pub fn classify(trace: &Trace, geom: &CacheGeometry) -> ClassifiedTrace {
     classify_warm(trace, geom, 0)
 }
 
+/// Incremental hierarchy-filter state shared by the materialized
+/// ([`classify_warm`]) and streaming ([`generate_classify`]) entry points:
+/// both walk warmup accesses state-only, then emit one code per detailed
+/// instruction while accumulating counters and the load-miss histogram.
+/// The 64-byte block index is computed once per access and shared across
+/// the L1D, L2 and ATD probes.
+struct Classifier {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    atd: Atd,
+    codes: Vec<u8>,
+    load_hist: Vec<u64>,
+    l1_hits: u64,
+    l2_hits: u64,
+    llc_accesses: u64,
+    llc_stores: u64,
+}
+
+impl Classifier {
+    fn new(geom: &CacheGeometry, detail_capacity: usize) -> Self {
+        let atd = Atd::new(geom.llc.sets(), geom.max_ways_per_core);
+        Classifier {
+            l1: SetAssocCache::with_capacity(geom.l1d.capacity_bytes, geom.l1d.ways),
+            l2: SetAssocCache::with_capacity(geom.l2.capacity_bytes, geom.l2.ways),
+            load_hist: vec![0; atd.max_ways() + 1],
+            atd,
+            codes: Vec::with_capacity(detail_capacity),
+            l1_hits: 0,
+            l2_hits: 0,
+            llc_accesses: 0,
+            llc_stores: 0,
+        }
+    }
+
+    /// Warm-up access: update cache/directory state, no codes or counters.
+    #[inline]
+    fn warm(&mut self, inst: &Inst) {
+        if inst.kind.is_mem() {
+            let block = inst.addr >> 6;
+            if !self.l1.access_block(block) && !self.l2.access_block(block) {
+                self.atd.access_block(block);
+            }
+        }
+    }
+
+    /// Detailed access: classify, count, histogram.
+    #[inline]
+    fn detail(&mut self, inst: &Inst) {
+        let code = if !inst.kind.is_mem() {
+            NOT_MEM
+        } else {
+            let block = inst.addr >> 6;
+            if self.l1.access_block(block) {
+                self.l1_hits += 1;
+                CODE_L1
+            } else if self.l2.access_block(block) {
+                self.l2_hits += 1;
+                CODE_L2
+            } else {
+                let d = self.atd.access_block(block);
+                self.llc_accesses += 1;
+                if inst.kind == InstKind::Store {
+                    self.llc_stores += 1;
+                }
+                if inst.kind == InstKind::Load {
+                    let slot = if d == COLD { self.atd.max_ways() } else { d as usize };
+                    self.load_hist[slot] += 1;
+                }
+                if d == COLD {
+                    CODE_COLD
+                } else {
+                    d
+                }
+            }
+        };
+        self.codes.push(code);
+    }
+
+    fn finish(self) -> ClassifiedTrace {
+        let store_frac_at_llc = if self.llc_accesses > 0 {
+            self.llc_stores as f64 / self.llc_accesses as f64
+        } else {
+            0.0
+        };
+        ClassifiedTrace {
+            codes: self.codes,
+            load_hist: self.load_hist,
+            atd: self.atd,
+            l1_hits: self.l1_hits,
+            l2_hits: self.l2_hits,
+            llc_accesses: self.llc_accesses,
+            store_frac_at_llc,
+        }
+    }
+}
+
 /// [`classify`] with a warm-up prefix, mirroring the paper's 100M-warmup +
 /// 100M-detailed simulation windows (§IV-A): the first `warmup`
 /// instructions update cache and directory state but produce no codes or
@@ -174,47 +287,60 @@ pub fn classify(trace: &Trace, geom: &CacheGeometry) -> ClassifiedTrace {
 /// `trace.insts[warmup..]`, indexed from 0.
 pub fn classify_warm(trace: &Trace, geom: &CacheGeometry, warmup: usize) -> ClassifiedTrace {
     assert!(warmup <= trace.len(), "warmup longer than trace");
-    let mut l1 = SetAssocCache::with_capacity(geom.l1d.capacity_bytes, geom.l1d.ways);
-    let mut l2 = SetAssocCache::with_capacity(geom.l2.capacity_bytes, geom.l2.ways);
-    let mut atd = Atd::new(geom.llc.sets(), geom.max_ways_per_core);
+    let mut cl = Classifier::new(geom, trace.len() - warmup);
     for inst in &trace.insts[..warmup] {
-        if inst.kind.is_mem() && !l1.access(inst.addr) && !l2.access(inst.addr) {
-            atd.access(inst.addr);
-        }
+        cl.warm(inst);
     }
-    atd.reset_counters();
+    cl.atd.reset_counters();
+    for inst in &trace.insts[warmup..] {
+        cl.detail(inst);
+    }
+    cl.finish()
+}
 
-    let detailed = &trace.insts[warmup..];
-    let mut codes = vec![NOT_MEM; detailed.len()];
-    let (mut l1_hits, mut l2_hits, mut llc_accesses, mut llc_stores) = (0u64, 0u64, 0u64, 0u64);
-    for (i, inst) in detailed.iter().enumerate() {
-        if !inst.kind.is_mem() {
-            continue;
+/// Fused generate-and-classify: stream `warmup + detail` instructions out
+/// of `spec` (see [`PhaseSpec::generate_stream`]) straight into the
+/// hierarchy filter. Warm-up instructions update cache state **without ever
+/// being materialized**; detailed instructions land in `detailed` (cleared
+/// and reused — the per-worker scratch of the phase-database build) and are
+/// classified on the fly.
+///
+/// Equivalent to `spec.generate(warmup + detail, seed)` +
+/// [`classify_warm`] + keeping only the detailed suffix — bit-identical
+/// codes, counters, histogram and `detailed` instructions (property-tested)
+/// — without the warmup `Inst` records or the second pass over the trace.
+pub fn generate_classify(
+    spec: &PhaseSpec,
+    geom: &CacheGeometry,
+    warmup: usize,
+    detail: usize,
+    seed: u64,
+    detailed: &mut Vec<Inst>,
+) -> ClassifiedTrace {
+    let mut cl = Classifier::new(geom, detail);
+    detailed.clear();
+    detailed.reserve(detail);
+    spec.generate_stream(warmup + detail, seed, |i, inst| {
+        if i < warmup {
+            cl.warm(&inst);
+            return;
         }
-        if l1.access(inst.addr) {
-            codes[i] = CODE_L1;
-            l1_hits += 1;
-        } else if l2.access(inst.addr) {
-            codes[i] = CODE_L2;
-            l2_hits += 1;
-        } else {
-            let d = atd.access(inst.addr);
-            llc_accesses += 1;
-            if inst.kind == InstKind::Store {
-                llc_stores += 1;
-            }
-            codes[i] = if d == COLD { CODE_COLD } else { d };
+        if i == warmup {
+            cl.atd.reset_counters();
         }
+        cl.detail(&inst);
+        detailed.push(inst);
+    });
+    if detail == 0 {
+        cl.atd.reset_counters();
     }
-    let store_frac_at_llc =
-        if llc_accesses > 0 { llc_stores as f64 / llc_accesses as f64 } else { 0.0 };
-    ClassifiedTrace { codes, atd, l1_hits, l2_hits, llc_accesses, store_frac_at_llc }
+    cl.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triad_trace::{Inst, InstKind, MemRegion, PhaseSpec};
+    use triad_trace::{AccessPattern, Inst, InstKind, MemRegion, PhaseSpec};
 
     fn geom() -> CacheGeometry {
         CacheGeometry::table1(4)
@@ -385,6 +511,74 @@ mod tests {
             assert_eq!(ct.class(i), AccessClass::NotMem);
             assert_eq!(ct.service_level(i, 8), 0);
             assert!(!ct.is_dram(i, 2));
+        }
+    }
+
+    /// Streaming generate-and-classify vs materialize-then-classify: every
+    /// observable of the [`ClassifiedTrace`] — codes, miss curves,
+    /// load-only miss curves, hit counters, store fraction — and the
+    /// retained detailed instructions must be bit-identical, across
+    /// randomized phase specs and warmup/detail splits (including the
+    /// all-warmup and no-warmup edges).
+    #[test]
+    fn streaming_classifier_matches_materialized() {
+        use triad_util::rand::rngs::StdRng;
+        use triad_util::rand::{RngExt, SeedableRng};
+
+        let g = CacheGeometry::table1_scaled(4, 16);
+        let mut rng = StdRng::seed_from_u64(0x57_2EA);
+        let r = |rng: &mut StdRng, lo: f64, hi: f64| lo + rng.random::<f64>() * (hi - lo);
+        for trial in 0..8 {
+            let spec = PhaseSpec {
+                tag: trial,
+                load_frac: r(&mut rng, 0.05, 0.35),
+                store_frac: r(&mut rng, 0.0, 0.15),
+                branch_frac: 0.1,
+                longop_frac: 0.05,
+                mispredict_rate: 0.02,
+                dep_mean: r(&mut rng, 2.0, 12.0),
+                dep2_prob: 0.3,
+                chase_frac: r(&mut rng, 0.0, 0.8),
+                burst: r(&mut rng, 1.0, 16.0),
+                addr_dep: r(&mut rng, 0.0, 1.0),
+                regions: vec![
+                    MemRegion::reuse_kib(8, 0.4),
+                    MemRegion::reuse_kib(rng.random_range(32u64..256), 0.4),
+                    MemRegion {
+                        blocks: rng.random_range(16u64..1 << 18),
+                        weight: 0.2,
+                        pattern: AccessPattern::Uniform,
+                    },
+                ],
+            };
+            let seed = rng.random::<u64>();
+            for (warmup, detail) in [(4_000, 2_000), (0, 3_000), (3_000, 0)] {
+                let trace = spec.generate(warmup + detail, seed);
+                let two_pass = classify_warm(&trace, &g, warmup);
+
+                let mut detailed = Vec::new();
+                let fused = generate_classify(&spec, &g, warmup, detail, seed, &mut detailed);
+
+                let ctx = format!("trial {trial} warmup={warmup} detail={detail}");
+                assert_eq!(detailed, trace.insts[warmup..], "{ctx}: detailed insts");
+                assert_eq!(fused.codes(), two_pass.codes(), "{ctx}: codes");
+                assert_eq!(fused.l1_hits, two_pass.l1_hits, "{ctx}: l1_hits");
+                assert_eq!(fused.l2_hits, two_pass.l2_hits, "{ctx}: l2_hits");
+                assert_eq!(fused.llc_accesses, two_pass.llc_accesses, "{ctx}: llc_accesses");
+                assert_eq!(
+                    fused.store_frac_at_llc.to_bits(),
+                    two_pass.store_frac_at_llc.to_bits(),
+                    "{ctx}: store_frac_at_llc"
+                );
+                for w in 1..=g.max_ways_per_core {
+                    assert_eq!(fused.llc_misses(w), two_pass.llc_misses(w), "{ctx}: misses(w={w})");
+                    assert_eq!(
+                        fused.llc_load_misses(w),
+                        two_pass.llc_load_misses(w),
+                        "{ctx}: load_misses(w={w})"
+                    );
+                }
+            }
         }
     }
 }

@@ -32,8 +32,8 @@ pub mod mlp;
 
 pub use atd::Atd;
 pub use hierarchy::{
-    classify, classify_warm, is_llc_code, llc_stack_dist_of, service_level_of, AccessClass,
-    ClassifiedTrace,
+    classify, classify_warm, generate_classify, is_llc_code, llc_stack_dist_of, service_level_of,
+    AccessClass, ClassifiedTrace,
 };
 pub use lru::SetAssocCache;
 pub use mlp::MlpMonitor;

@@ -56,8 +56,15 @@ impl SetAssocCache {
     /// (write-allocate for stores is the caller's policy — Table I caches
     /// allocate on both loads and stores).
     pub fn access(&mut self, addr: u64) -> bool {
-        let set = ((addr >> self.set_shift) & self.set_mask) as usize;
-        let tag = addr >> self.set_shift;
+        self.access_block(addr >> self.set_shift)
+    }
+
+    /// [`SetAssocCache::access`] by 64-byte block index (`addr >> 6`).
+    /// Lets a caller probing several levels compute the shift once.
+    #[inline]
+    pub fn access_block(&mut self, block: u64) -> bool {
+        let set = (block & self.set_mask) as usize;
+        let tag = block;
         let base = set * self.ways;
         let slice = &mut self.tags[base..base + self.ways];
         if let Some(pos) = slice.iter().position(|&t| t == tag) {

@@ -91,6 +91,13 @@ impl DramQueue {
         self.base_cycles
     }
 
+    /// Channel occupancy per request, rounded up to whole cycles. The
+    /// amortized queueing delay any single request can add beyond the
+    /// requests before it — used by cycle-bound proofs, not by the model.
+    pub fn service_cycles_ceil(&self) -> u64 {
+        self.service_fp.div_ceil(FP)
+    }
+
     /// Reset channel state and counters.
     pub fn reset(&mut self) {
         self.next_free_fp = 0;

@@ -2,9 +2,9 @@
 
 use crate::record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, W_MAX, W_MIN};
 use triad_arch::{CacheGeometry, CoreSize};
-use triad_cache::{classify_warm, MlpMonitor};
-use triad_trace::{AppSpec, PhaseSpec};
-use triad_uarch::{TimingConfig, TimingEngine};
+use triad_cache::{generate_classify, MlpMonitor};
+use triad_trace::{AppSpec, Inst, PhaseSpec};
+use triad_uarch::{LaneSpec, TimingConfig, TimingEngine};
 
 /// Database build parameters.
 #[derive(Debug, Clone, Copy)]
@@ -74,9 +74,18 @@ pub fn build_apps(apps: &[AppSpec], cfg: &DbConfig) -> PhaseDb {
             tasks.push((ai, pi));
         }
     }
-    let mut flat = triad_util::par::par_map(&tasks, cfg.threads, |&(ai, pi)| {
-        build_phase(&apps[ai].phases[pi], cfg)
-    })
+    // Each worker thread owns one [`PhaseScratch`] — the timing engine's
+    // ring buffers, the monitor set and the detailed-trace buffer — reused
+    // across every phase the worker claims instead of reallocated per
+    // phase. The scratch carries no state between phases (monitors are
+    // reset, buffers overwritten), so results stay deterministic across
+    // thread counts (asserted by tests).
+    let mut flat = triad_util::par::par_map_with(
+        &tasks,
+        cfg.threads,
+        PhaseScratch::new,
+        |scratch, &(ai, pi)| build_phase_with(&apps[ai].phases[pi], cfg, scratch),
+    )
     .into_iter();
     let mut out = Vec::with_capacity(apps.len());
     for app in apps {
@@ -87,29 +96,67 @@ pub fn build_apps(apps: &[AppSpec], cfg: &DbConfig) -> PhaseDb {
     PhaseDb { apps: out }
 }
 
+/// Reusable per-worker scratch for [`build_phase_with`]: the timing
+/// engine's ring buffers, one [`MlpMonitor`] per way allocation and the
+/// detailed-trace buffer. Holding one of these per worker thread removes
+/// every per-phase allocation from the build's steady state.
+pub struct PhaseScratch {
+    engine: TimingEngine,
+    mons: Vec<MlpMonitor>,
+    detailed: Vec<Inst>,
+}
+
+impl PhaseScratch {
+    /// Fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        PhaseScratch {
+            engine: TimingEngine::new(),
+            mons: (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect(),
+            detailed: Vec::new(),
+        }
+    }
+}
+
+impl Default for PhaseScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Detailed simulation of one phase over the whole configuration space.
 pub fn build_phase(spec: &PhaseSpec, cfg: &DbConfig) -> PhaseRecord {
+    build_phase_with(spec, cfg, &mut PhaseScratch::new())
+}
+
+/// [`build_phase`] against caller-owned scratch — the single-decode
+/// pipeline:
+///
+/// 1. trace generation and hierarchy classification are fused into one
+///    streaming pass ([`generate_classify`]) that never materializes the
+///    warmup instructions and fills the load-only miss histogram en route;
+/// 2. each core size runs **one** 2·NW-lane lockstep pass covering every
+///    way allocation at *both* fit frequencies (lanes interleaved
+///    `(w, f_lo), (w, f_hi)` — ways stay non-decreasing), instead of two
+///    NW-lane passes — 3 trace decodes per phase, down from 6 (and from 90
+///    scalar passes before the lockstep engine).
+pub fn build_phase_with(
+    spec: &PhaseSpec,
+    cfg: &DbConfig,
+    scratch: &mut PhaseScratch,
+) -> PhaseRecord {
     let scaled = spec.scaled(cfg.scale as u64);
     let geom = CacheGeometry::table1_scaled(4, cfg.scale);
-    let trace = scaled.generate(cfg.warmup + cfg.detail, cfg.seed);
-    let ct = classify_warm(&trace, &geom, cfg.warmup);
-    let detailed = &trace.insts[cfg.warmup..];
+    let ct =
+        generate_classify(&scaled, &geom, cfg.warmup, cfg.detail, cfg.seed, &mut scratch.detailed);
+    let detailed = scratch.detailed.as_slice();
     let n = detailed.len() as f64;
 
     let miss_curve_pi: Vec<f64> =
         (1..=geom.max_ways_per_core).map(|w| ct.llc_misses(w) as f64 / n).collect();
-    // Load-only miss curve, for the stall-time models (Eq. 2 counts loads).
-    let mut load_hist = vec![0u64; geom.max_ways_per_core + 1];
-    for (i, inst) in detailed.iter().enumerate() {
-        if inst.kind == triad_trace::InstKind::Load && ct.is_llc_access(i) {
-            let code = ct.code(i);
-            let slot = if code <= 15 { code as usize } else { geom.max_ways_per_core };
-            load_hist[slot] += 1;
-        }
-    }
-    let load_miss_curve_pi: Vec<f64> = (1..=geom.max_ways_per_core)
-        .map(|w| load_hist[w..].iter().sum::<u64>() as f64 / n)
-        .collect();
+    // Load-only miss curve, for the stall-time models (Eq. 2 counts loads);
+    // the histogram was filled during classification.
+    let load_miss_curve_pi: Vec<f64> =
+        (1..=geom.max_ways_per_core).map(|w| ct.llc_load_misses(w) as f64 / n).collect();
     let llc_acc_pi = ct.llc_accesses as f64 / n;
     let wb_frac = ct.store_frac_at_llc;
 
@@ -118,20 +165,28 @@ pub fn build_phase(spec: &PhaseSpec, cfg: &DbConfig) -> PhaseRecord {
     let mut true_mlp = vec![1.0; NC * NW];
     let mut monitor: Vec<MonitorStats> = Vec::with_capacity(NC * NW);
 
-    // One lockstep trace pass per (core, fit frequency) instead of one
-    // `simulate` call per (core, frequency, allocation): the engine advances
-    // all NW allocations together, so the trace and its classification are
-    // touched 2·NC times per phase rather than 2·NC·NW times.
-    let mut engine = TimingEngine::new();
+    // Lane plan shared by all core sizes: both fit frequencies fused into
+    // one pass, monitors attached to the low-frequency lanes (cycle-domain
+    // monitor state is frequency-independent; `lo` is the designated
+    // statistics run).
+    let lanes: Vec<LaneSpec> = (W_MIN..=W_MAX)
+        .flat_map(|w| {
+            [
+                LaneSpec { ways: w, freq_hz: cfg.fit_lo_hz, monitor: true },
+                LaneSpec { ways: w, freq_hz: cfg.fit_hi_hz, monitor: false },
+            ]
+        })
+        .collect();
     for c in CoreSize::ALL {
-        let mut mons: Vec<MlpMonitor> = (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
-        let lo_cfg = TimingConfig::table1(c, cfg.fit_lo_hz, W_MIN);
-        let los =
-            engine.simulate_ways_with_monitors(detailed, &ct, &lo_cfg, W_MIN..=W_MAX, &mut mons);
-        let his = engine.simulate_ways(detailed, &ct, c, cfg.fit_hi_hz, W_MIN..=W_MAX);
+        for mon in &mut scratch.mons {
+            mon.reset();
+        }
+        let base_cfg = TimingConfig::table1(c, cfg.fit_lo_hz, W_MIN);
+        let results =
+            scratch.engine.simulate_lanes(detailed, &ct, &base_cfg, &lanes, &mut scratch.mons);
 
         for (k, w) in (W_MIN..=W_MAX).enumerate() {
-            let (lo, hi, mon) = (&los[k], &his[k], &mons[k]);
+            let (lo, hi, mon) = (&results[2 * k], &results[2 * k + 1], &scratch.mons[k]);
             // Fit T(f) = A/f + B per instruction through both points.
             let t_lo = lo.time_s / n;
             let t_hi = hi.time_s / n;

@@ -154,6 +154,21 @@ impl PhaseSpec {
     ///
     /// The same `(self, len, seed)` always yields the identical trace.
     pub fn generate(&self, len: usize, seed: u64) -> Trace {
+        let mut insts = Vec::with_capacity(len);
+        self.generate_stream(len, seed, |_, inst| insts.push(inst));
+        Trace { insts }
+    }
+
+    /// Streaming form of [`PhaseSpec::generate`]: emit each instruction to
+    /// `sink(i, inst)` in program order instead of materializing a
+    /// [`Trace`]. The RNG draw sequence — and therefore every emitted
+    /// instruction — is identical to [`PhaseSpec::generate`] with the same
+    /// `(self, len, seed)`; `generate` is a thin collector over this.
+    ///
+    /// This is what lets the phase-database build classify the warmup
+    /// prefix (cache-state-only) without ever allocating its `Inst`
+    /// records.
+    pub fn generate_stream(&self, len: usize, seed: u64, mut sink: impl FnMut(usize, Inst)) {
         self.validate().expect("invalid PhaseSpec");
         let mut rng = StdRng::seed_from_u64(seed ^ self.tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let total_w: f64 = self.regions.iter().map(|r| r.weight).sum();
@@ -171,12 +186,13 @@ impl PhaseSpec {
             .map(|i| (self.tag.wrapping_mul(31).wrapping_add(i as u64 + 1)) << 40)
             .collect();
 
-        let mut insts = Vec::with_capacity(len);
         // Pointer walks chain within their own data structure: the producer
         // of a chase load is the previous load *to the same region*.
         let mut last_load_in: Vec<Option<usize>> = vec![None; self.regions.len()];
         let mut cur_region: Option<usize> = None;
         let p_stay = 1.0 - 1.0 / self.burst;
+        let dep_lo = (self.dep_mean * 0.5).ceil().max(1.0) as u32;
+        let dep_hi = (self.dep_mean * 1.5).floor().max(dep_lo as f64) as u32;
         for i in 0..len {
             let u: f64 = rng.random();
             let is_load = u < self.load_frac;
@@ -208,10 +224,10 @@ impl PhaseSpec {
             } else if kind.is_mem() && !rng.random_bool(self.addr_dep) {
                 0
             } else {
-                self.sample_dep(&mut rng, i)
+                sample_dep(&mut rng, dep_lo, dep_hi, i)
             };
             let dep2 = if !kind.is_mem() && rng.random_bool(self.dep2_prob) {
-                self.sample_dep(&mut rng, i)
+                sample_dep(&mut rng, dep_lo, dep_hi, i)
             } else {
                 0
             };
@@ -220,27 +236,8 @@ impl PhaseSpec {
             if kind == InstKind::Load {
                 last_load_in[region.unwrap()] = Some(i);
             }
-            insts.push(Inst { addr, dep1, dep2, kind, mispredict, chase });
+            sink(i, Inst { addr, dep1, dep2, kind, mispredict, chase });
         }
-        Trace { insts }
-    }
-
-    /// Sample a dependency distance, clamped to available history.
-    ///
-    /// Distances are uniform in `[⌈m/2⌉, ⌊3m/2⌋]` around `m = dep_mean`: a
-    /// low-variance distribution makes the dependence DAG's width sharply
-    /// ≈ `m`, so a core whose dispatch width exceeds `m` gains nothing —
-    /// which is what lets `dep_mean` separate parallelism-sensitive from
-    /// parallelism-insensitive code (fat-tailed distances would let wide
-    /// cores profit from the high-parallelism tail even at small means).
-    fn sample_dep(&self, rng: &mut StdRng, i: usize) -> u32 {
-        if i == 0 {
-            return 0;
-        }
-        let lo = (self.dep_mean * 0.5).ceil().max(1.0) as u32;
-        let hi = (self.dep_mean * 1.5).floor().max(lo as f64) as u32;
-        let d = rng.random_range(lo..=hi);
-        d.min(i as u32)
     }
 
     /// Sticky region selection: with probability 1 − 1/burst the access
@@ -269,7 +266,10 @@ impl PhaseSpec {
         let block = match r.pattern {
             AccessPattern::Sweep => {
                 let b = cursors[ri];
-                cursors[ri] = (cursors[ri] + 1) % r.blocks;
+                // The cursor is always < blocks, so wrap-around is a
+                // compare, not a division.
+                let n = b + 1;
+                cursors[ri] = if n == r.blocks { 0 } else { n };
                 b
             }
             AccessPattern::Uniform => rng.random_range(0..r.blocks),
@@ -294,6 +294,24 @@ impl PhaseSpec {
         }
         p
     }
+}
+
+/// Sample a dependency distance uniform in `[lo, hi]`, clamped to the
+/// available history `i`.
+///
+/// Distances are uniform in `[⌈m/2⌉, ⌊3m/2⌋]` around `m = dep_mean`: a
+/// low-variance distribution makes the dependence DAG's width sharply
+/// ≈ `m`, so a core whose dispatch width exceeds `m` gains nothing —
+/// which is what lets `dep_mean` separate parallelism-sensitive from
+/// parallelism-insensitive code (fat-tailed distances would let wide
+/// cores profit from the high-parallelism tail even at small means).
+/// The bounds are hoisted out of the per-instruction loop by the caller.
+#[inline]
+fn sample_dep(rng: &mut StdRng, lo: u32, hi: u32, i: usize) -> u32 {
+    if i == 0 {
+        return 0;
+    }
+    rng.random_range(lo..=hi).min(i as u32)
 }
 
 #[cfg(test)]

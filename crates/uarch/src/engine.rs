@@ -3,7 +3,7 @@
 //! [`TimingEngine`] executes the same out-of-order model as the original
 //! `simulate` free function — and is proven byte-identical to it by
 //! property tests and the campaign/phase-db goldens — but restructures the
-//! inner loop around two observations:
+//! inner loop around four observations:
 //!
 //! 1. **ROB-bounded ring buffers.** The original implementation kept five
 //!    trace-length arrays (`dispatch`/`issue`/`complete`/`retire`/`class`)
@@ -32,22 +32,51 @@
 //!      (Debug builds assert `retire[i − rob] ≤ dispatch[i]` and retire
 //!      monotonicity, the two legs of the proof.)
 //!
-//!    Each array therefore shrinks to a power-of-two ring of `rob` entries
-//!    (`dispatch` disappears outright: it is only read in the iteration
-//!    that writes it). The scratch drops from five trace-length vectors —
-//!    megabytes per call, reallocated every call — to a few KiB that live
-//!    inside the engine and are reused across calls.
+//!    Each array therefore shrinks to a power-of-two ring (the `issue` ring
+//!    to RS depth — it is only ever read at distance exactly `rs`; the rest
+//!    to ROB depth). The scratch drops from five trace-length vectors —
+//!    megabytes per call, reallocated every call — to a few KiB *per lane*
+//!    that live inside the engine and are reused across calls.
 //!
-//! 2. **Lockstep way batching.** For a fixed core size and frequency, runs
-//!    at different LLC way allocations share everything that is expensive
-//!    to fetch — the trace itself, its classification codes, dependence
-//!    decoding, branch and LSQ bookkeeping — and differ only in per-way
-//!    cycle arithmetic. [`TimingEngine::simulate_ways`] advances all
-//!    requested allocations through the trace in **one pass**: per-way
-//!    `u64` cycle lanes (SoA, lane-major within each ring slot), one
-//!    [`DramQueue`] per lane, shared instruction decode. The phase-database
-//!    build that previously walked the same trace 15× per (core,
-//!    frequency) now touches it once.
+//! 2. **Lockstep lane batching.** Runs that share a trace and its
+//!    classification differ only in per-lane cycle arithmetic: the LLC way
+//!    allocation decides which LLC accesses go to DRAM, and the clock
+//!    frequency only rescales the DRAM latency into core cycles (every
+//!    on-chip latency of Table I is specified *in cycles*). [`LaneSpec`]
+//!    captures exactly that degree of freedom — `(ways, freq_hz)` — and
+//!    [`TimingEngine::simulate_lanes`] advances any number of such lanes
+//!    through the trace in **one pass**: instruction/dependence/LSQ decode
+//!    and the ascending-way hit/miss prefix split are shared, and only the
+//!    cycle arithmetic runs per lane. The phase-database build that once
+//!    walked the same trace 90× per phase (15 allocations × 2 fit
+//!    frequencies × 3 core sizes) now touches it **3×** — one 30-lane pass
+//!    per core size, both fit frequencies fused.
+//!
+//! 3. **Block decode, lane-major execution.** Decode results are staged
+//!    into fixed-size blocks ([`BLOCK`] instructions of [`Dec`] records),
+//!    and each lane then replays the whole block in a tight inner loop.
+//!    This turns the hot loop inside-out relative to a
+//!    lane-inside-instruction nesting: per-lane architectural state (group
+//!    cycle, redirect target, retire horizon, stall counters) stays in
+//!    registers for [`BLOCK`] iterations instead of round-tripping through
+//!    memory per instruction, and the rings are **lane-major** — each
+//!    lane's cells form one contiguous ~1 KiB region that stays
+//!    L1-resident while it replays a block. Absent constraints (no
+//!    dependence; LSQ/ROB/RS not yet filled) are encoded as reads of a
+//!    per-lane **sentinel slot** pinned to zero — a value the model's
+//!    strict `>` / `max` combining rules provably ignore — so the inner
+//!    loop carries no constraint-presence branches.
+//!
+//! 4. **Narrow cycle cells.** Cycle values are provably bounded by a
+//!    conservative per-instruction worst case (dispatch advances by at
+//!    most one group cycle; completion by at most the largest fixed
+//!    latency, the DRAM zero-load latency and the *total* queue backlog,
+//!    which itself grows by one service slot per request; redirects add
+//!    the mispredict penalty). When `(n + 1) × per_inst_bound` fits in
+//!    `u32`, the rings store 32-bit cycles — halving ring traffic — while
+//!    all arithmetic stays in `u64`, so results are bit-identical to the
+//!    wide representation (asserted by property tests via
+//!    [`TimingEngine::force_wide_cycles`]).
 
 use std::ops::RangeInclusive;
 
@@ -57,37 +86,105 @@ use triad_cache::{is_llc_code, llc_stack_dist_of, service_level_of, ClassifiedTr
 use triad_mem::DramQueue;
 use triad_trace::{Inst, InstKind};
 
-/// Reason the completion of an instruction was late (stall attribution).
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Class {
-    Compute,
-    Branch,
-    CacheHit,
-    Dram,
+/// Stall-attribution classes (the Eq. 1 decomposition) as ring codes.
+const CLS_COMPUTE: u8 = 0;
+const CLS_BRANCH: u8 = 1;
+const CLS_CACHE: u8 = 2;
+const CLS_DRAM: u8 = 3;
+
+/// Completion-path kinds shared across lanes (see [`Dec`]). Lanes run in
+/// ascending way order, so the allocations a given stack distance misses
+/// are exactly a *prefix* of the lane list — the per-lane service-level
+/// decision collapses to one shared `partition_point`.
+const PATH_FIXED: u8 = 0;
+/// LLC access with a tracked stack distance: lanes `< split` (ways ≤ dist)
+/// go to DRAM, lanes `≥ split` hit the LLC.
+const PATH_SPLIT: u8 = 1;
+/// LLC access that misses every simulated allocation (cold/evicted).
+const PATH_ALL_DRAM: u8 = 2;
+
+/// [`Dec::flags`] bits.
+const FLAG_MISPREDICT: u8 = 1;
+/// The instruction is an LLC load and monitors are attached to this run.
+const FLAG_COLLECT: u8 = 2;
+/// The in-order retire-slot constraint `retire[i − width] + 1` is live
+/// (`i ≥ width`). The `+ 1` must vanish with the constraint — a plain
+/// sentinel read would yield `0 + 1` and could (correctly *not*) tie the
+/// `max` — so the lane loop adds this flag bit instead of a constant.
+const FLAG_RETW: u8 = 4;
+/// Memory op is a load (a DRAM store retires early from the store buffer).
+const FLAG_LOAD: u8 = 8;
+
+/// Instructions decoded per block before the lanes replay it. Sized so the
+/// block's [`Dec`] records (~32 B each) plus one lane's rings fit L1
+/// comfortably.
+const BLOCK: usize = 256;
+
+/// One instruction's lane-independent decode: ring rows for every backward
+/// constraint (the sentinel row when the constraint is absent), the shared
+/// completion path and per-instruction flags. Filled once per instruction,
+/// replayed by every lane.
+#[derive(Clone, Copy, Default)]
+struct Dec {
+    /// Read rows into the rob-cap rings (`complete`/`retire`/`class`).
+    rob_row: u32,
+    lsq_row: u32,
+    dep1_row: u32,
+    dep2_row: u32,
+    retw_row: u32,
+    /// Read row into the rs-cap `issue` ring.
+    rs_row: u32,
+    /// Row this instruction writes in the rob-cap rings.
+    slot_row: u32,
+    /// Row this instruction writes in the issue ring.
+    islot_row: u32,
+    /// Fixed completion latency (the non-DRAM outcome of every path kind).
+    lat: u32,
+    /// Stall class of the non-DRAM outcome.
+    cls: u8,
+    /// `PATH_FIXED` / `PATH_SPLIT` / `PATH_ALL_DRAM`.
+    path: u8,
+    /// For `PATH_SPLIT`: lanes `< split` go to DRAM.
+    split: u8,
+    flags: u8,
+    /// Raw classification code (for the monitor stream).
+    code: u8,
 }
 
-/// Completion path of one instruction, decoded once and shared across
-/// lanes. Lanes run in ascending way order, so the allocations a given
-/// stack distance misses are exactly a *prefix* of the lane list — the
-/// per-lane service-level decision collapses to one shared
-/// `partition_point` instead of `nl` data-dependent branches.
-#[derive(Clone, Copy)]
-enum Path {
-    /// Same fixed latency and class on every lane (non-mem, L1, L2, or an
-    /// LLC access that hits every simulated allocation).
-    Fixed(u64, Class),
-    /// LLC access that misses every allocation (cold/evicted).
-    AllDram,
-    /// LLC access with stack distance `d`: lanes `< split` (ways ≤ d) go
-    /// to DRAM, lanes `≥ split` hit the LLC.
-    Split(usize),
+/// One simulated configuration of a lockstep pass. Lanes share the trace,
+/// its classification, the core size and every cycle-domain latency of the
+/// [`TimingConfig`]; they differ only in
+///
+/// * `ways` — the LLC allocation (decides which LLC accesses go to DRAM),
+/// * `freq_hz` — the core clock, which rescales the (wall-clock) DRAM
+///   latency into core cycles and converts final cycle counts to seconds,
+/// * `monitor` — whether the lane's arrival-ordered LLC load stream is
+///   collected for an [`MlpMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneSpec {
+    /// LLC way allocation of this lane.
+    pub ways: usize,
+    /// Core clock frequency of this lane, Hz.
+    pub freq_hz: f64,
+    /// Collect this lane's LLC load stream for a monitor.
+    pub monitor: bool,
 }
 
-/// Per-way-allocation simulation state (one SoA lane).
+impl LaneSpec {
+    /// A monitor-less lane at `(ways, freq_hz)`.
+    pub fn new(ways: usize, freq_hz: f64) -> Self {
+        LaneSpec { ways, freq_hz, monitor: false }
+    }
+}
+
+/// Per-lane simulation state (the slow-changing part; the per-block hot
+/// state is hoisted into locals by the lane loop).
 struct Lane {
     dram: DramQueue,
+    freq_hz: f64,
+    collect: bool,
     cycle_of_group: u64,
-    dispatched_in_group: usize,
+    dispatched_in_group: u64,
     branch_resume: u64,
     dram_loads: u64,
     dram_stores: u64,
@@ -100,9 +197,11 @@ struct Lane {
 }
 
 impl Lane {
-    fn new(cfg: &TimingConfig) -> Self {
+    fn new(cfg: &TimingConfig, spec: &LaneSpec) -> Self {
         Lane {
-            dram: DramQueue::new(cfg.dram, cfg.freq_hz),
+            dram: DramQueue::new(cfg.dram, spec.freq_hz),
+            freq_hz: spec.freq_hz,
+            collect: spec.monitor,
             cycle_of_group: 0,
             dispatched_in_group: 0,
             branch_resume: 0,
@@ -118,46 +217,112 @@ impl Lane {
     }
 }
 
-/// One (ring slot, lane) entry: the per-instruction cycles the model reads
-/// back later, interleaved so a slot access touches one cache line instead
-/// of four parallel arrays.
-#[derive(Clone, Copy)]
-struct Cell {
-    issue: u64,
-    complete: u64,
-    retire: u64,
-    class: Class,
+/// Cycle-cell representation of the ring buffers: `u32` when the run's
+/// conservative cycle bound fits (half the ring traffic), `u64` otherwise.
+/// All arithmetic happens in `u64`; cells only narrow storage.
+trait Cycle: Copy {
+    const ZERO: Self;
+    fn of(v: u64) -> Self;
+    fn get(self) -> u64;
 }
 
-const EMPTY_CELL: Cell = Cell { issue: 0, complete: 0, retire: 0, class: Class::Compute };
+impl Cycle for u32 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn of(v: u64) -> Self {
+        debug_assert!(v <= u32::MAX as u64, "narrow cycle cell overflow");
+        v as u32
+    }
+    #[inline(always)]
+    fn get(self) -> u64 {
+        self as u64
+    }
+}
+
+impl Cycle for u64 {
+    const ZERO: Self = 0;
+    #[inline(always)]
+    fn of(v: u64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn get(self) -> u64 {
+        self
+    }
+}
+
+/// Per-field ring buffers (SoA, **lane-major**): lane `k`'s cells occupy
+/// one contiguous `rows`-sized region per field, so a lane's whole ring
+/// working set stays L1-resident while it replays a block. Row `cap` of
+/// each region is the zero **sentinel** slot — never written during a run;
+/// reads of it encode "constraint absent" (see module docs, point 3).
+#[derive(Default)]
+struct Rings<C> {
+    /// Completion cycles, `lanes × (rob-cap + 1)`.
+    complete: Vec<C>,
+    /// Retirement cycles, `lanes × (rob-cap + 1)`.
+    retire: Vec<C>,
+    /// Issue cycles, `lanes × (rs-cap + 1)` — only ever read at distance
+    /// `rs`.
+    issue: Vec<C>,
+}
 
 /// A reusable out-of-order timing engine: holds all scratch state across
-/// calls and simulates one or many LLC way allocations per trace pass.
+/// calls and simulates one or many [`LaneSpec`] configurations per trace
+/// pass.
 ///
 /// The free functions [`crate::simulate`] / [`crate::simulate_with_monitor`]
 /// are thin wrappers over a fresh single-lane engine and remain
 /// byte-identical to the pre-engine implementation.
 #[derive(Default)]
 pub struct TimingEngine {
-    /// Per-instruction cycle ring, `cap × lanes` (lane-major within each
-    /// slot).
-    cells: Vec<Cell>,
+    rings32: Rings<u32>,
+    rings64: Rings<u64>,
+    /// Stall-attribution classes, `lanes × (rob-cap + 1)` (shared by both
+    /// cycle representations).
+    class: Vec<u8>,
+    /// Block-decode staging buffer, [`BLOCK`] entries.
+    dec: Vec<Dec>,
     /// Memory-op ordinal ring for the LSQ constraint (way-independent,
     /// shared across lanes): the youngest `lsq` memory-op indices.
     memops: Vec<u32>,
+    /// Way-equivalence representative per lane (see `dedup_lanes`).
+    rep: Vec<usize>,
     /// Per-lane LLC loads in (issue-cycle, program-index, stack-code) form;
-    /// populated only when monitors are attached.
+    /// populated only for monitored lanes.
     llc_loads: Vec<Vec<(u64, u32, u8)>>,
     /// Lane states for the current call.
     lanes: Vec<Lane>,
-    /// Way-list scratch for the range-based entry points.
-    ways_buf: Vec<usize>,
+    /// Lane-descriptor scratch for the range-based entry points.
+    lane_buf: Vec<LaneSpec>,
+    /// Test hook: force the wide (`u64`) cell representation.
+    force_wide: bool,
+    /// Test/bench hook: simulate every lane even when way-equivalence
+    /// proves some are clones.
+    no_dedup: bool,
 }
 
 impl TimingEngine {
     /// A fresh engine with no scratch allocated yet.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Force the wide (`u64`) ring representation regardless of the cycle
+    /// bound. Only useful to property-test that the narrow (`u32`)
+    /// representation is bit-identical; results never differ.
+    #[doc(hidden)]
+    pub fn force_wide_cycles(&mut self, wide: bool) {
+        self.force_wide = wide;
+    }
+
+    /// Simulate every lane individually even when way-equivalence proves
+    /// some are bit-identical clones. Only useful to property-test the
+    /// deduplication (results never differ) and to benchmark the engine
+    /// as it existed before it — never in production paths.
+    #[doc(hidden)]
+    pub fn disable_lane_dedup(&mut self, off: bool) {
+        self.no_dedup = off;
     }
 
     /// Simulate `trace` (classified as `ct`) under `cfg` — the single-lane
@@ -168,8 +333,9 @@ impl TimingEngine {
         ct: &ClassifiedTrace,
         cfg: &TimingConfig,
     ) -> TimingResult {
-        self.fill_single(cfg);
-        self.run(trace, ct, cfg, 1, None)[0]
+        self.lane_buf.clear();
+        self.lane_buf.push(LaneSpec::new(cfg.ways, cfg.freq_hz));
+        self.run(trace, ct, cfg, None)[0]
     }
 
     /// [`TimingEngine::simulate`], feeding every LLC load (in LLC arrival
@@ -182,8 +348,9 @@ impl TimingEngine {
         cfg: &TimingConfig,
         monitor: &mut MlpMonitor,
     ) -> TimingResult {
-        self.fill_single(cfg);
-        self.run(trace, ct, cfg, 1, Some(std::slice::from_mut(monitor)))[0]
+        self.lane_buf.clear();
+        self.lane_buf.push(LaneSpec { ways: cfg.ways, freq_hz: cfg.freq_hz, monitor: true });
+        self.run(trace, ct, cfg, Some(std::slice::from_mut(monitor)))[0]
     }
 
     /// Lockstep batched mode: simulate every allocation in `ways` at the
@@ -212,8 +379,9 @@ impl TimingEngine {
         cfg: &TimingConfig,
         ways: RangeInclusive<usize>,
     ) -> Vec<TimingResult> {
-        let nl = self.fill_ways(ways);
-        self.run(trace, ct, cfg, nl, None)
+        self.lane_buf.clear();
+        self.lane_buf.extend(ways.map(|w| LaneSpec::new(w, cfg.freq_hz)));
+        self.run(trace, ct, cfg, None)
     }
 
     /// Batched mode with one [`MlpMonitor`] per way lane: lane `k` feeds
@@ -228,59 +396,101 @@ impl TimingEngine {
         ways: RangeInclusive<usize>,
         monitors: &mut [MlpMonitor],
     ) -> Vec<TimingResult> {
-        let nl = self.fill_ways(ways);
-        assert_eq!(monitors.len(), nl, "one monitor per way lane");
-        self.run(trace, ct, cfg, nl, Some(monitors))
+        self.lane_buf.clear();
+        self.lane_buf.extend(ways.map(|w| LaneSpec {
+            ways: w,
+            freq_hz: cfg.freq_hz,
+            monitor: true,
+        }));
+        assert_eq!(monitors.len(), self.lane_buf.len(), "one monitor per way lane");
+        self.run(trace, ct, cfg, Some(monitors))
     }
 
-    /// Expand a way range into the lane scratch; returns the lane count.
-    fn fill_ways(&mut self, ways: RangeInclusive<usize>) -> usize {
-        self.ways_buf.clear();
-        self.ways_buf.extend(ways);
-        assert!(!self.ways_buf.is_empty(), "empty way range");
-        self.ways_buf.len()
+    /// The general lockstep entry point: one pass over `trace` advancing
+    /// every lane in `specs` — arbitrary `(ways, freq_hz)` pairs, as long
+    /// as `ways` is non-decreasing across the lane list (the prefix-split
+    /// decode relies on it). `cfg` provides the core size and the shared
+    /// cycle-domain latencies; its `ways`/`freq_hz` fields are overridden
+    /// per lane. `monitors` receives one entry per `monitor == true` lane,
+    /// in lane order.
+    ///
+    /// Each lane's [`TimingResult`] (and monitor state) is bit-identical to
+    /// a standalone [`crate::simulate`] / [`crate::simulate_with_monitor`]
+    /// at that lane's configuration — the property the phase-database
+    /// build's byte-identical-artifact golden rests on.
+    pub fn simulate_lanes(
+        &mut self,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
+        specs: &[LaneSpec],
+        monitors: &mut [MlpMonitor],
+    ) -> Vec<TimingResult> {
+        self.lane_buf.clear();
+        self.lane_buf.extend_from_slice(specs);
+        let monitored = specs.iter().filter(|s| s.monitor).count();
+        assert_eq!(monitors.len(), monitored, "one monitor per monitored lane");
+        self.run(trace, ct, cfg, Some(monitors))
     }
 
-    /// Single-lane way scratch for the scalar entry points.
-    fn fill_single(&mut self, cfg: &TimingConfig) {
-        self.ways_buf.clear();
-        self.ways_buf.push(cfg.ways);
+    /// Conservative upper bound on any cycle value stored during a run:
+    /// each instruction advances every lane clock by at most one group
+    /// cycle plus a dispatch slot, the largest completion latency and a
+    /// redirect penalty; DRAM queueing adds (amortized) one channel
+    /// service slot per request plus the zero-load latency. Summed over
+    /// `n + 1` instructions this dominates every stored `issue`, `complete`,
+    /// `retire` and `branch_resume` value, so cells fit `u32` whenever the
+    /// bound does.
+    fn cycle_bound(&self, n: usize, cfg: &TimingConfig) -> u128 {
+        let max_freq =
+            self.lane_buf.iter().map(|s| s.freq_hz).fold(0.0f64, f64::max).max(cfg.freq_hz);
+        let probe = DramQueue::new(cfg.dram, max_freq);
+        let lat_max = cfg.lat_llc.max(cfg.lat_longop).max(cfg.lat_l2).max(cfg.lat_l1) as u64;
+        let per_inst = 4
+            + 2 * cfg.mispredict_penalty as u64
+            + lat_max
+            + probe.base_cycles()
+            + probe.service_cycles_ceil();
+        (n as u128 + 1) * per_inst as u128
     }
 
-    /// One DRAM access on one lane: LLC lookup, then the contention queue.
-    #[inline(always)]
-    fn dram_access(lane: &mut Lane, start: u64, lat_llc: u64, is_load: bool) -> (u64, Class) {
-        let arrival = start + lat_llc;
-        let done = lane.dram.request(arrival);
-        if is_load {
-            lane.dram_loads += 1;
-            if arrival >= lane.lm_end {
-                lane.true_lm += 1;
-                lane.lm_end = done;
-            }
-            (done, Class::Dram)
-        } else {
-            // Stores retire from the store buffer; the fill only consumes
-            // DRAM bandwidth.
-            lane.dram_stores += 1;
-            (start + 1, Class::Compute)
-        }
-    }
-
-    /// The lockstep inner loop over `nl` lanes. With `nl == 1` this is
-    /// exactly the original scalar model (the lane loop collapses); with
-    /// more lanes, instruction decode, dependence and LSQ bookkeeping are
-    /// shared and only the cycle arithmetic runs per way.
+    /// Dispatch to the narrow or wide ring representation.
     fn run(
         &mut self,
         trace: &[Inst],
         ct: &ClassifiedTrace,
         cfg: &TimingConfig,
-        nl: usize,
+        monitors: Option<&mut [MlpMonitor]>,
+    ) -> Vec<TimingResult> {
+        assert!(!self.lane_buf.is_empty(), "at least one lane required");
+        if self.force_wide || self.cycle_bound(trace.len(), cfg) > u32::MAX as u128 {
+            let mut rings = std::mem::take(&mut self.rings64);
+            let out = self.run_cells(&mut rings, trace, ct, cfg, monitors);
+            self.rings64 = rings;
+            out
+        } else {
+            let mut rings = std::mem::take(&mut self.rings32);
+            let out = self.run_cells(&mut rings, trace, ct, cfg, monitors);
+            self.rings32 = rings;
+            out
+        }
+    }
+
+    /// The lockstep loop: decode a block of instructions once, then let
+    /// every lane replay it against its own rings (module docs, points
+    /// 2–3). With one lane this degenerates to the original scalar model.
+    fn run_cells<C: Cycle>(
+        &mut self,
+        rings: &mut Rings<C>,
+        trace: &[Inst],
+        ct: &ClassifiedTrace,
+        cfg: &TimingConfig,
         monitors: Option<&mut [MlpMonitor]>,
     ) -> Vec<TimingResult> {
         let n = trace.len();
         assert_eq!(n, ct.len(), "trace and classification must align");
+        let nl = self.lane_buf.len();
+        assert!(nl < 256, "lane count must fit the split byte");
         if n == 0 {
             return vec![TimingResult::default(); nl];
         }
@@ -293,244 +503,418 @@ impl TimingEngine {
         // within the ROB.
         assert!(width <= rob && rs <= rob && lsq <= rob, "ring bound: RS/LSQ/width within ROB");
 
+        // Per-lane ring regions are sized to 2× the (power-of-two) ring
+        // depth: rows `0..cap` hold data, row `cap` is the zero sentinel,
+        // and the power-of-two region length lets every access be indexed
+        // as `row & (region_len − 1)` — an index the compiler can prove
+        // in-bounds (`x & m ≤ m`), so the hot loop carries no bounds
+        // checks.
         let cap = rob.next_power_of_two();
         let mask = cap - 1;
+        let rows = cap * 2;
+        let icap = rs.next_power_of_two();
+        let imask = icap - 1;
+        let irows = icap * 2;
         let lcap = lsq.next_power_of_two();
         let lmask = lcap - 1;
+        let sent = cap as u32; // sentinel row of the rob-cap rings
+        let isent = icap as u32; // sentinel row of the issue ring
 
-        // (Re)size scratch. Stale values from previous calls are never
-        // read: every ring read at instruction `i` targets an index in
-        // `[i − rob, i − 1]`, all written earlier in this pass.
-        self.cells.resize(cap * nl, EMPTY_CELL);
+        // (Re)size scratch and re-zero the sentinel rows (geometry may have
+        // shifted stale cells under them). Stale *non-sentinel* values are
+        // never read: every such read at instruction `i` targets a row
+        // written earlier in this pass — the read distances are bounded by
+        // the ring depths and gated on `i` having advanced past them.
+        rings.complete.resize(rows * nl, C::ZERO);
+        rings.retire.resize(rows * nl, C::ZERO);
+        rings.issue.resize(irows * nl, C::ZERO);
+        self.class.resize(rows * nl, 0);
         self.memops.resize(lcap, 0);
-        // Ascending way order is what lets the per-instruction service-level
-        // decision collapse to a prefix split (see [`Path`]).
-        debug_assert!(self.ways_buf.windows(2).all(|p| p[0] < p[1]), "ways must ascend");
-        self.lanes.clear();
-        for _ in 0..nl {
-            self.lanes.push(Lane::new(cfg));
+        self.dec.resize(BLOCK, Dec::default());
+        for k in 0..nl {
+            rings.complete[k * rows + cap] = C::ZERO;
+            rings.retire[k * rows + cap] = C::ZERO;
+            rings.issue[k * irows + icap] = C::ZERO;
+            self.class[k * rows + cap] = CLS_COMPUTE;
         }
-        let collect_llc = monitors.is_some();
+        // Ascending way order is what lets the per-instruction service-level
+        // decision collapse to a prefix split (see [`Dec`]).
+        assert!(
+            self.lane_buf.windows(2).all(|p| p[0].ways <= p[1].ways),
+            "lane ways must be non-decreasing"
+        );
+        self.lanes.clear();
+        for spec in &self.lane_buf {
+            self.lanes.push(Lane::new(cfg, spec));
+        }
+        let codes = ct.codes();
+
+        // ---- way-equivalence dedup. A lane pair (w₁, f₁) / (w₂, f₂) with
+        // w₁ ≤ w₂ has bit-identical cycle timelines when no LLC access in
+        // the window separates them:
+        //
+        // * accesses with stack distance d < w₁ hit both, d ≥ w₂ (and cold
+        //   misses) go to DRAM on both — only d ∈ [w₁, w₂) differs, so if
+        //   no such distance occurs the DRAM decision agrees on every
+        //   instruction;
+        // * the frequency only scales DRAM latency into core cycles, so
+        //   f₁ ≠ f₂ additionally requires the lanes to see *zero* DRAM
+        //   traffic (no cold miss, no tracked d ≥ w₁).
+        //
+        // Equal ways (duplicate lanes) are the empty-range case of the
+        // same rule. Every u64 cycle/stall counter of an equivalent pair
+        // is then equal, so the clone lane skips the trace walk entirely
+        // and copies its representative's end state — per-lane f64
+        // conversion at its own frequency reproduces the standalone result
+        // bit-for-bit. Streaming phases (all-cold misses) collapse the
+        // whole way range to one lane per frequency; cache-resident phases
+        // collapse everything past their largest occurring stack distance.
+        let mut present = [false; 16];
+        let mut cold_any = false;
+        for &c in codes {
+            if c <= 15 {
+                present[c as usize] = true;
+            } else {
+                cold_any |= is_llc_code(c);
+            }
+        }
+        self.rep.clear();
+        for k in 0..nl {
+            let mut r = k;
+            for j in 0..k * (!self.no_dedup as usize) {
+                let wj16 = self.lane_buf[j].ways.min(16);
+                let wk16 = self.lane_buf[k].ways.min(16);
+                if present[wj16..wk16].iter().any(|&p| p) {
+                    continue;
+                }
+                let dram_free = !cold_any && !present[wj16..].iter().any(|&p| p);
+                if self.lane_buf[j].freq_hz == self.lane_buf[k].freq_hz || dram_free {
+                    r = self.rep[j];
+                    break;
+                }
+            }
+            self.rep.push(r);
+        }
+
+        let collect_any = monitors.is_some();
         while self.llc_loads.len() < nl {
             self.llc_loads.push(Vec::new());
         }
-        if collect_llc {
+        // A representative collects the (shared) LLC load stream when any
+        // lane of its class is monitored.
+        for k in 0..nl {
+            self.lanes[k].collect = false;
+        }
+        for k in 0..nl {
+            if self.lane_buf[k].monitor {
+                self.lanes[self.rep[k]].collect = true;
+            }
+        }
+        if collect_any {
             // Upper bound: `ct.llc_accesses` counts LLC loads *and* stores,
             // while only loads are collected — no reallocation, slight
             // over-reservation.
-            for lv in self.llc_loads.iter_mut().take(nl) {
+            for (lv, lane) in self.llc_loads.iter_mut().zip(&self.lanes) {
                 lv.clear();
-                lv.reserve(ct.llc_accesses as usize);
+                if lane.collect {
+                    lv.reserve(ct.llc_accesses as usize);
+                }
             }
         }
-
-        let codes = ct.codes();
-        let cells = &mut self.cells;
-        let memops = &mut self.memops;
-        let lanes = &mut self.lanes;
-        let llc = &mut self.llc_loads;
-        let ws = &self.ways_buf;
-        let lat_l1 = cfg.lat_l1 as u64;
-        let lat_l2 = cfg.lat_l2 as u64;
+        let specs = &self.lane_buf;
+        let min_ways = specs[0].ways;
+        let lat_l1 = cfg.lat_l1;
+        let lat_l2 = cfg.lat_l2;
         let lat_llc = cfg.lat_llc as u64;
-        let lat_longop = cfg.lat_longop as u64;
+        let lat_longop = cfg.lat_longop;
         let penalty = cfg.mispredict_penalty as u64;
-        let mut m = 0usize; // memory ops pushed so far
+        let mut m = 0usize; // memory ops decoded so far
 
-        for (i, inst) in trace.iter().enumerate() {
-            // ---- shared decode (once per instruction, not per way) ----
-            let code = codes[i];
-            let kind = inst.kind;
-            let is_mem = kind.is_mem();
-            let slot = (i & mask) * nl;
-            let rob_slot = if i >= rob { Some(((i - rob) & mask) * nl) } else { None };
-            let rs_slot = if i >= rs { Some(((i - rs) & mask) * nl) } else { None };
-            // LSQ head: the lsq-th-youngest memory op, if it can still bind
-            // (older than the ROB ⇒ provably non-binding, module docs).
-            let lsq_slot = if is_mem && m >= lsq {
-                let oldest = memops[(m - lsq) & lmask] as usize;
-                if i - oldest < rob {
-                    Some((oldest & mask) * nl)
+        for block_start in (0..n).step_by(BLOCK) {
+            let block = &trace[block_start..(block_start + BLOCK).min(n)];
+
+            // ---- decode phase: once per instruction, not per lane ----
+            for (j, inst) in block.iter().enumerate() {
+                let i = block_start + j;
+                let code = codes[i];
+                let kind = inst.kind;
+                let is_mem = kind.is_mem();
+                let d = &mut self.dec[j];
+                d.slot_row = (i & mask) as u32;
+                d.islot_row = (i & imask) as u32;
+                d.rob_row = if i >= rob { ((i - rob) & mask) as u32 } else { sent };
+                d.rs_row = if i >= rs { ((i - rs) & imask) as u32 } else { isent };
+                // LSQ head: the lsq-th-youngest memory op, if it can still
+                // bind (older than the ROB ⇒ provably non-binding, module
+                // docs).
+                d.lsq_row = if is_mem && m >= lsq {
+                    let oldest = self.memops[(m - lsq) & lmask] as usize;
+                    if i - oldest < rob {
+                        (oldest & mask) as u32
+                    } else {
+                        sent
+                    }
                 } else {
-                    None
+                    sent
+                };
+                if is_mem {
+                    self.memops[m & lmask] = i as u32;
+                    m += 1;
                 }
-            } else {
-                None
-            };
-            if is_mem {
-                memops[m & lmask] = i as u32;
-                m += 1;
-            }
-            // Producers before the detailed window (dep distance > i)
-            // completed during warmup; producers older than the ROB are
-            // non-binding (module docs). Both impose no constraint.
-            let d1 = inst.dep1 as usize;
-            let d2 = inst.dep2 as usize;
-            let dep1_slot =
-                if d1 > 0 && d1 <= i && d1 < rob { Some(((i - d1) & mask) * nl) } else { None };
-            let dep2_slot =
-                if d2 > 0 && d2 <= i && d2 < rob { Some(((i - d2) & mask) * nl) } else { None };
-            let mispredict = kind == InstKind::Branch && inst.mispredict;
-            let ret1_slot = if i >= 1 { Some(((i - 1) & mask) * nl) } else { None };
-            let retw_slot = if i >= width { Some(((i - width) & mask) * nl) } else { None };
-            let is_load = kind == InstKind::Load;
-            let collect_load = collect_llc && is_load && is_llc_code(code);
-            // Completion path, shared across lanes (see [`Path`]): the
-            // service level at the *smallest* allocation decides the shape,
-            // and for tracked stack distances the DRAM lanes are the prefix
-            // with `ways ≤ dist`.
-            let path = match kind {
-                InstKind::Alu | InstKind::Branch => Path::Fixed(1, Class::Compute),
-                InstKind::LongOp => Path::Fixed(lat_longop, Class::Compute),
-                InstKind::Load | InstKind::Store => match service_level_of(code, ws[0]) {
-                    1 => Path::Fixed(lat_l1, Class::Compute),
-                    2 => Path::Fixed(lat_l2, Class::CacheHit),
-                    3 => Path::Fixed(lat_llc, Class::CacheHit),
-                    _ => {
-                        if code <= 15 {
-                            let split = ws.partition_point(|&w| w <= code as usize);
-                            if split == nl {
-                                Path::AllDram
+                // Producers before the detailed window (dep distance > i)
+                // completed during warmup; producers older than the ROB are
+                // non-binding (module docs). Both impose no constraint.
+                let d1 = inst.dep1 as usize;
+                let d2 = inst.dep2 as usize;
+                d.dep1_row =
+                    if d1 > 0 && d1 <= i && d1 < rob { ((i - d1) & mask) as u32 } else { sent };
+                d.dep2_row =
+                    if d2 > 0 && d2 <= i && d2 < rob { ((i - d2) & mask) as u32 } else { sent };
+                d.retw_row = if i >= width { ((i - width) & mask) as u32 } else { sent };
+                let is_load = kind == InstKind::Load;
+                let mut flags = 0u8;
+                if kind == InstKind::Branch && inst.mispredict {
+                    flags |= FLAG_MISPREDICT;
+                }
+                if i >= width {
+                    flags |= FLAG_RETW;
+                }
+                if is_load {
+                    flags |= FLAG_LOAD;
+                }
+                if collect_any && is_load && is_llc_code(code) {
+                    flags |= FLAG_COLLECT;
+                }
+                // Completion path, shared across lanes: the service level
+                // at the *smallest* allocation decides the shape, and for
+                // tracked stack distances the DRAM lanes are the prefix
+                // with `ways ≤ dist`.
+                let (path, split, lat, cls) = match kind {
+                    InstKind::Alu | InstKind::Branch => (PATH_FIXED, 0, 1, CLS_COMPUTE),
+                    InstKind::LongOp => (PATH_FIXED, 0, lat_longop, CLS_COMPUTE),
+                    InstKind::Load | InstKind::Store => match service_level_of(code, min_ways) {
+                        1 => (PATH_FIXED, 0, lat_l1, CLS_COMPUTE),
+                        2 => (PATH_FIXED, 0, lat_l2, CLS_CACHE),
+                        3 => (PATH_FIXED, 0, cfg.lat_llc, CLS_CACHE),
+                        _ => {
+                            if code <= 15 {
+                                let split = specs.partition_point(|s| s.ways <= code as usize);
+                                if split == nl {
+                                    (PATH_ALL_DRAM, 0, 0, CLS_DRAM)
+                                } else {
+                                    (PATH_SPLIT, split as u8, cfg.lat_llc, CLS_CACHE)
+                                }
                             } else {
-                                Path::Split(split)
+                                (PATH_ALL_DRAM, 0, 0, CLS_DRAM)
                             }
-                        } else {
-                            Path::AllDram
                         }
-                    }
-                },
-            };
+                    },
+                };
+                d.path = path;
+                d.split = split;
+                d.lat = lat;
+                d.cls = cls;
+                d.flags = flags;
+                d.code = code;
+            }
 
-            for (k, lane) in lanes.iter_mut().enumerate() {
-                // ---- dispatch ----
-                let mut cand = lane.cycle_of_group;
-                let mut reason = Class::Compute;
-                if lane.branch_resume > cand {
-                    cand = lane.branch_resume;
-                    reason = Class::Branch;
+            // ---- lane phase: each lane replays the decoded block. The
+            // loop body is written in guarded-assignment form (`x = if c
+            // { a } else { x }`) so every constraint fold and the stall
+            // counters compile to conditional moves — the binding pattern
+            // of the five dispatch constraints is data-dependent and
+            // would mispredict heavily as branches. Ring indices are
+            // masked with the power-of-two region mask, which the
+            // compiler proves in-bounds. ----
+            let dec = &self.dec[..block.len()];
+            for (k, lane) in self.lanes.iter_mut().enumerate() {
+                if self.rep[k] != k {
+                    continue; // clone: copies its representative's state
                 }
-                if let Some(rb) = rob_slot {
-                    let cell = &cells[rb + k];
-                    if cell.retire > cand {
-                        cand = cell.retire;
-                        reason = cell.class; // blocked on the ROB head's class
-                    }
-                }
-                if let Some(rsb) = rs_slot {
-                    let lim = cells[rsb + k].issue;
-                    if lim > cand {
-                        cand = lim;
-                        reason = Class::Compute; // scheduler pressure is core-sized
-                    }
-                }
-                if let Some(ob) = lsq_slot {
-                    let cell = &cells[ob + k];
-                    if cell.complete > cand {
-                        cand = cell.complete;
-                        reason = cell.class;
-                    }
-                }
-                if cand > lane.cycle_of_group {
-                    lane.cycle_of_group = cand;
-                    lane.dispatched_in_group = 0;
-                } else if lane.dispatched_in_group >= width {
-                    lane.cycle_of_group += 1;
-                    lane.dispatched_in_group = 0;
-                }
-                let dispatch = lane.cycle_of_group;
-                lane.dispatched_in_group += 1;
-                // Record what stalled this instruction's *dispatch* so pure
-                // front-end (branch) starvation is attributable at retire.
-                let dispatch_reason = reason;
-                // First leg of the ring-bound proof: the ROB constraint
-                // pins dispatch at or after the ROB head's retirement.
-                if let Some(rb) = rob_slot {
-                    debug_assert!(cells[rb + k].retire <= dispatch, "ROB bound violated");
-                }
+                let cbase = k * rows;
+                let ibase = k * irows;
+                let complete = &mut rings.complete[cbase..cbase + rows];
+                let retire = &mut rings.retire[cbase..cbase + rows];
+                let issue = &mut rings.issue[ibase..ibase + irows];
+                let class = &mut self.class[cbase..cbase + rows];
+                let rmask = rows - 1;
+                let irmask = irows - 1;
+                let lv = &mut self.llc_loads[k];
+                let lane_collect = lane.collect;
+                let ku8 = k as u8;
+                // Hot lane state lives in locals for the whole block; the
+                // stall counters live in a class-indexed array so
+                // attribution is an unconditional indexed add (class 0,
+                // compute, is the discarded dummy slot).
+                let mut cog = lane.cycle_of_group;
+                let mut dig = lane.dispatched_in_group;
+                let mut br = lane.branch_resume;
+                let mut lr = lane.last_retire;
+                let mut stall = [0u64; 4];
 
-                // ---- issue (operand readiness) ----
-                let mut start = dispatch + 1;
-                if let Some(db) = dep1_slot {
-                    start = start.max(cells[db + k].complete);
-                }
-                if let Some(db) = dep2_slot {
-                    start = start.max(cells[db + k].complete);
-                }
+                for (j, d) in dec.iter().enumerate() {
+                    // ---- dispatch: fold the five constraints in priority
+                    // order; each strictly-greater candidate takes both the
+                    // cycle and the blame.
+                    let rr = retire[d.rob_row as usize & rmask].get();
+                    let il = issue[d.rs_row as usize & irmask].get();
+                    let oc = complete[d.lsq_row as usize & rmask].get();
+                    let mut cand = cog;
+                    let mut reason = CLS_COMPUTE;
+                    if br > cand {
+                        cand = br;
+                        reason = CLS_BRANCH;
+                    }
+                    if rr > cand {
+                        cand = rr;
+                        reason = class[d.rob_row as usize & rmask]; // ROB head's class
+                    }
+                    if il > cand {
+                        cand = il;
+                        reason = CLS_COMPUTE; // scheduler pressure is core-sized
+                    }
+                    if oc > cand {
+                        cand = oc;
+                        reason = class[d.lsq_row as usize & rmask];
+                    }
+                    // Group advance: an external stall opens a new group at
+                    // `cand`; a full group opens the next cycle's group.
+                    if cand > cog {
+                        cog = cand;
+                        dig = 0;
+                    } else if dig >= width as u64 {
+                        cog += 1;
+                        dig = 0;
+                    }
+                    dig += 1;
+                    let dispatch = cog;
+                    // Record what stalled this instruction's *dispatch* so
+                    // pure front-end (branch) starvation is attributable at
+                    // retire.
+                    let dispatch_reason = reason;
+                    // First leg of the ring-bound proof: the ROB constraint
+                    // pins dispatch at or after the ROB head's retirement
+                    // (trivially true on the zero sentinel).
+                    debug_assert!(rr <= dispatch, "ROB bound violated");
 
-                // ---- complete ----
-                let (fin, cls) = match path {
-                    Path::Fixed(lat, c) => (start + lat, c),
-                    Path::AllDram => Self::dram_access(lane, start, lat_llc, is_load),
-                    Path::Split(split) => {
-                        if k < split {
-                            Self::dram_access(lane, start, lat_llc, is_load)
+                    // ---- issue (operand readiness) ----
+                    let start = (dispatch + 1)
+                        .max(complete[d.dep1_row as usize & rmask].get())
+                        .max(complete[d.dep2_row as usize & rmask].get());
+
+                    // ---- complete ----
+                    let to_dram =
+                        d.path == PATH_ALL_DRAM || (d.path == PATH_SPLIT && ku8 < d.split);
+                    let (fin, cls) = if to_dram {
+                        let arrival = start + lat_llc;
+                        let done = lane.dram.request(arrival);
+                        if d.flags & FLAG_LOAD != 0 {
+                            lane.dram_loads += 1;
+                            if arrival >= lane.lm_end {
+                                lane.true_lm += 1;
+                                lane.lm_end = done;
+                            }
+                            (done, CLS_DRAM)
                         } else {
-                            (start + lat_llc, Class::CacheHit)
+                            // Stores retire from the store buffer; the fill
+                            // only consumes DRAM bandwidth.
+                            lane.dram_stores += 1;
+                            (start + 1, CLS_COMPUTE)
                         }
+                    } else {
+                        (start + d.lat as u64, d.cls)
+                    };
+                    // Loads that reach the LLC (hit or miss) probe the ATD.
+                    if d.flags & FLAG_COLLECT != 0 && lane_collect {
+                        lv.push((start, (block_start + j) as u32, d.code));
                     }
-                };
-                // Loads that reach the LLC (hit or miss) probe the ATD.
-                if collect_load {
-                    llc[k].push((start, i as u32, code));
-                }
-                let final_class = if cls == Class::Compute && dispatch_reason == Class::Branch {
-                    Class::Branch
-                } else {
-                    cls
-                };
+                    let final_class = if cls == CLS_COMPUTE && dispatch_reason == CLS_BRANCH {
+                        CLS_BRANCH
+                    } else {
+                        cls
+                    };
 
-                // ---- branch redirect ----
-                if mispredict {
-                    lane.branch_resume = fin + penalty;
+                    // ---- branch redirect ----
+                    br = if d.flags & FLAG_MISPREDICT != 0 { fin + penalty } else { br };
+
+                    // ---- retire (in order, `width` per cycle) + fused
+                    // stall attribution: the retire delay beyond the
+                    // structural in-order slot `base` is charged to the
+                    // delaying class. `retire[i − 1]` is the lane's own
+                    // `last_retire`; the `retire[i − width] + 1` term drops
+                    // out exactly via the sentinel + FLAG_RETW when
+                    // `i < width`.
+                    let retw_live = (d.flags & FLAG_RETW != 0) as u64;
+                    let base = lr.max(retire[d.retw_row as usize & rmask].get() + retw_live);
+                    let r = fin.max(base);
+                    // Second leg of the ring-bound proof: retire is
+                    // monotone.
+                    debug_assert!(r >= lr, "retire must be monotone");
+                    lr = r;
+                    issue[d.islot_row as usize & irmask] = C::of(start);
+                    complete[d.slot_row as usize & rmask] = C::of(fin);
+                    retire[d.slot_row as usize & rmask] = C::of(r);
+                    class[d.slot_row as usize & rmask] = final_class;
+                    stall[(final_class & 3) as usize] += r - base;
                 }
 
-                // ---- retire (in order, `width` per cycle) + fused stall
-                // attribution: the retire delay beyond the structural
-                // in-order slot `base` is charged to the delaying class
-                // (this replaces the former second O(n) sweep — `base` is
-                // exactly what that sweep recomputed).
-                let mut base = 0u64;
-                if let Some(rb) = ret1_slot {
-                    base = cells[rb + k].retire;
-                }
-                if let Some(rb) = retw_slot {
-                    base = base.max(cells[rb + k].retire + 1);
-                }
-                let r = fin.max(base);
-                // Second leg of the ring-bound proof: retire is monotone.
-                debug_assert!(r >= lane.last_retire, "retire must be monotone");
-                lane.last_retire = r;
-                cells[slot + k] =
-                    Cell { issue: start, complete: fin, retire: r, class: final_class };
-                let gap = r - base;
-                if gap > 0 {
-                    match final_class {
-                        Class::Dram => lane.c_dram += gap,
-                        Class::CacheHit => lane.c_cache += gap,
-                        Class::Branch => lane.c_branch += gap,
-                        Class::Compute => {}
-                    }
-                }
+                lane.cycle_of_group = cog;
+                lane.dispatched_in_group = dig;
+                lane.branch_resume = br;
+                lane.last_retire = lr;
+                lane.c_branch += stall[CLS_BRANCH as usize];
+                lane.c_cache += stall[CLS_CACHE as usize];
+                lane.c_dram += stall[CLS_DRAM as usize];
             }
         }
 
-        // Feed the MLP monitors in LLC arrival order, one per lane.
+        // Clone lanes copy their representative's end state: every u64
+        // counter is provably equal (see the dedup comment), and the
+        // result conversion below divides by each lane's *own* frequency.
+        for k in 0..nl {
+            let r = self.rep[k];
+            if r != k {
+                let (head, tail) = self.lanes.split_at_mut(k);
+                let (src, dst) = (&head[r], &mut tail[0]);
+                dst.cycle_of_group = src.cycle_of_group;
+                dst.dispatched_in_group = src.dispatched_in_group;
+                dst.branch_resume = src.branch_resume;
+                dst.last_retire = src.last_retire;
+                dst.c_branch = src.c_branch;
+                dst.c_cache = src.c_cache;
+                dst.c_dram = src.c_dram;
+                dst.dram_loads = src.dram_loads;
+                dst.dram_stores = src.dram_stores;
+                dst.true_lm = src.true_lm;
+                dst.lm_end = src.lm_end;
+            }
+        }
+
+        // Feed the MLP monitors in LLC arrival order, one per monitored
+        // lane, in lane order. A clone lane's stream is its
+        // representative's (they are identical by construction).
         if let Some(mons) = monitors {
-            assert_eq!(mons.len(), nl, "one monitor per way lane");
-            for (k, mon) in mons.iter_mut().enumerate() {
-                let lv = &mut llc[k];
+            let mut mi = 0usize;
+            for (k, spec) in specs.iter().enumerate() {
+                if !spec.monitor {
+                    continue;
+                }
+                let mon = &mut mons[mi];
+                mi += 1;
+                let lv = &mut self.llc_loads[self.rep[k]];
                 lv.sort_by_key(|&(t, idx, _)| (t, idx));
                 for &(_, idx, code) in lv.iter() {
                     mon.on_llc_load(idx as u64, llc_stack_dist_of(code));
                 }
             }
+            assert_eq!(mi, mons.len(), "one monitor per monitored lane");
         }
 
-        lanes
+        self.lanes
             .iter()
             .map(|lane| {
                 let cycles = lane.last_retire.max(1);
-                let to_s = |c: u64| c as f64 / cfg.freq_hz;
+                let to_s = |c: u64| c as f64 / lane.freq_hz;
                 let time_s = to_s(cycles);
                 let t_branch_s = to_s(lane.c_branch);
                 let t_cache_s = to_s(lane.c_cache);

@@ -26,14 +26,16 @@
 //!   [`triad_cache::MlpMonitor`] to emulate the proposed hardware.
 //!
 //! The implementation lives in the reusable [`engine::TimingEngine`]:
-//! ROB-bounded ring buffers instead of trace-length scratch, plus a
-//! **lockstep batched mode** that simulates every LLC way allocation in
-//! one trace pass — the unit the phase-database build sweeps. The
+//! ROB-bounded ring buffers (stored as `u32` cells when a proven cycle
+//! bound fits) instead of trace-length scratch, plus a **lockstep batched
+//! mode** that advances arbitrary [`engine::LaneSpec`] lanes — any mix of
+//! LLC way allocations *and* clock frequencies — in one trace pass; the
+//! phase-database build runs one 30-lane pass per core size. The
 //! [`simulate`]/[`simulate_with_monitor`] free functions are thin
 //! single-lane wrappers kept byte-identical to the original model.
 
 pub mod engine;
 pub mod model;
 
-pub use engine::TimingEngine;
+pub use engine::{LaneSpec, TimingEngine};
 pub use model::{simulate, simulate_with_monitor, TimingConfig, TimingResult};

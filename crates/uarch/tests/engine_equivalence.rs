@@ -6,7 +6,7 @@
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{classify_warm, MlpMonitor};
 use triad_trace::{AccessPattern, MemRegion, PhaseSpec};
-use triad_uarch::{simulate, simulate_with_monitor, TimingConfig, TimingEngine};
+use triad_uarch::{simulate, simulate_with_monitor, LaneSpec, TimingConfig, TimingEngine};
 use triad_util::rand::rngs::StdRng;
 use triad_util::rand::{RngExt, SeedableRng};
 
@@ -125,6 +125,131 @@ fn batched_monitors_match_legacy_monitors() {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// The phase-database build's actual lane plan — one fused pass over 30
+/// mixed-frequency lanes (both fit frequencies interleaved per way) —
+/// must match the two-pass formulation it replaced (a monitored
+/// lo-frequency sweep plus an unmonitored hi-frequency sweep)
+/// bit-for-bit, monitors included.
+#[test]
+fn fused_mixed_frequency_lanes_match_two_pass() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let (lo, hi) = (1.0e9, 3.25e9);
+    let mut rng = StdRng::seed_from_u64(0xF0_5ED);
+    let mut fused_engine = TimingEngine::new();
+    let mut two_pass_engine = TimingEngine::new();
+    let lanes: Vec<LaneSpec> = (W_MIN..=W_MAX)
+        .flat_map(|w| [LaneSpec { ways: w, freq_hz: lo, monitor: true }, LaneSpec::new(w, hi)])
+        .collect();
+    for trial in 0..3 {
+        let (spec, seed) = random_spec(&mut rng);
+        let t = spec.generate(12_000, seed);
+        let ct = classify_warm(&t, &geom, 4_000);
+        let detailed = &t.insts[4_000..];
+        for c in CoreSize::ALL {
+            let cfg = TimingConfig::table1(c, lo, W_MIN);
+            let mut fused_mons: Vec<MlpMonitor> =
+                (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+            let fused = fused_engine.simulate_lanes(detailed, &ct, &cfg, &lanes, &mut fused_mons);
+
+            let mut tp_mons: Vec<MlpMonitor> =
+                (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+            let pass_lo = two_pass_engine.simulate_ways_with_monitors(
+                detailed,
+                &ct,
+                &cfg,
+                W_MIN..=W_MAX,
+                &mut tp_mons,
+            );
+            let pass_hi = two_pass_engine.simulate_ways(detailed, &ct, c, hi, W_MIN..=W_MAX);
+
+            for (k, w) in (W_MIN..=W_MAX).enumerate() {
+                let ctx = format!("trial {trial} {c} w={w}");
+                assert_bits_eq(&fused[2 * k], &pass_lo[k], &format!("{ctx} lo"));
+                assert_bits_eq(&fused[2 * k + 1], &pass_hi[k], &format!("{ctx} hi"));
+                for tc in CoreSize::ALL {
+                    for tw in W_MIN..=W_MAX {
+                        assert_eq!(
+                            fused_mons[k].lm_count(tc, tw),
+                            tp_mons[k].lm_count(tc, tw),
+                            "{ctx}: lm({tc},{tw})"
+                        );
+                        assert_eq!(
+                            fused_mons[k].ov_count(tc, tw),
+                            tp_mons[k].ov_count(tc, tw),
+                            "{ctx}: ov({tc},{tw})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Way-equivalence lane deduplication at its extremes: a pure streaming
+/// phase (every LLC access misses at every allocation — all ways collapse
+/// within a frequency) and a cache-resident phase (no DRAM traffic at all
+/// — every lane collapses to one representative). Cloned lanes must still
+/// reproduce the standalone model bit-for-bit.
+#[test]
+fn dedup_extremes_match_legacy() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let base = random_spec(&mut StdRng::seed_from_u64(0xDE_D0)).0;
+    let streaming = PhaseSpec { regions: vec![MemRegion::stream_mib(64, 1.0)], ..base.clone() };
+    let resident = PhaseSpec { regions: vec![MemRegion::reuse_kib(8, 1.0)], ..base };
+    let mut engine = TimingEngine::new();
+    let mut undeduped = TimingEngine::new();
+    undeduped.disable_lane_dedup(true);
+    for (label, spec) in [("streaming", &streaming), ("resident", &resident)] {
+        let t = spec.generate(12_000, 0x5EED);
+        let ct = classify_warm(&t, &geom, 4_000);
+        let detailed = &t.insts[4_000..];
+        for c in [CoreSize::S, CoreSize::L] {
+            for freq in [1.0e9, 3.25e9] {
+                let batched = engine.simulate_ways(detailed, &ct, c, freq, W_MIN..=W_MAX);
+                let brute = undeduped.simulate_ways(detailed, &ct, c, freq, W_MIN..=W_MAX);
+                for (k, w) in (W_MIN..=W_MAX).enumerate() {
+                    let legacy = simulate(detailed, &ct, &TimingConfig::table1(c, freq, w));
+                    assert_bits_eq(
+                        &batched[k],
+                        &legacy,
+                        &format!("{label} {c} f={freq:.2e} w={w}"),
+                    );
+                    assert_bits_eq(
+                        &batched[k],
+                        &brute[k],
+                        &format!("{label} {c} f={freq:.2e} w={w} dedup-vs-brute"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The narrow (u32-cell) and wide (u64-cell) ring representations are the
+/// same algorithm at different storage widths: forcing the wide path on a
+/// trace that fits narrow cells must change nothing.
+#[test]
+fn wide_cells_match_narrow_cells() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut rng = StdRng::seed_from_u64(0x3264);
+    let (spec, seed) = random_spec(&mut rng);
+    let t = spec.generate(12_000, seed);
+    let ct = classify_warm(&t, &geom, 4_000);
+    let detailed = &t.insts[4_000..];
+    let mut narrow = TimingEngine::new();
+    let mut wide = TimingEngine::new();
+    wide.force_wide_cycles(true);
+    for c in CoreSize::ALL {
+        for freq in [1.0e9, 3.25e9] {
+            let a = narrow.simulate_ways(detailed, &ct, c, freq, W_MIN..=W_MAX);
+            let b = wide.simulate_ways(detailed, &ct, c, freq, W_MIN..=W_MAX);
+            for (x, y) in a.iter().zip(&b) {
+                assert_bits_eq(x, y, &format!("{c} f={freq:.2e} narrow-vs-wide"));
             }
         }
     }

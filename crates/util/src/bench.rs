@@ -2,9 +2,14 @@
 //!
 //! Replaces the criterion dependency with the 5 % of it the workspace
 //! needs: warm up, run a fixed wall-clock budget, report mean time per
-//! iteration (and derived throughput).
+//! iteration (and derived throughput). When `TRIAD_BENCH_JSON` names a
+//! file, every measurement is also appended there as one JSON object per
+//! line (JSON Lines — append-safe across the several bench binaries CI
+//! runs into the same file, then uploads as a workflow artifact).
 
+use crate::json::Json;
 use std::hint::black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Result of one measured benchmark.
@@ -73,7 +78,31 @@ pub fn bench(
         ),
         None => println!("{label:<40} {:>12}/iter", m.display_time()),
     }
+    append_json_record(label, elements_per_iter, &m);
     m
+}
+
+/// Append the measurement to the `TRIAD_BENCH_JSON` file (one JSON object
+/// per line), if that variable is set. Failures to write are reported but
+/// never fail the bench — the gates, not the record, are the contract.
+fn append_json_record(label: &str, elements_per_iter: Option<u64>, m: &Measurement) {
+    let Ok(path) = std::env::var("TRIAD_BENCH_JSON") else {
+        return;
+    };
+    let mut rec =
+        Json::obj().set("label", label).set("secs_per_iter", m.secs_per_iter).set("iters", m.iters);
+    if let Some(n) = elements_per_iter {
+        rec = rec.set("elements_per_iter", n);
+    }
+    let line = rec.to_string_compact();
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = res {
+        eprintln!("warning: could not append bench record to {path}: {e}");
+    }
 }
 
 /// Measurement budget from the `TRIAD_BENCH_BUDGET_MS` environment

@@ -34,6 +34,53 @@ where
     par_map_indexed(items, threads, |_, item| f(item))
 }
 
+/// [`par_map`] variant with per-worker scratch state: each worker thread
+/// calls `init()` once and threads the resulting value through every task
+/// it claims. Results still come back in input order, and because tasks
+/// are pure functions of `(scratch, item)` with scratch reset/overwritten
+/// per task by convention, the output is deterministic regardless of which
+/// worker claims which task — the phase-database build asserts this across
+/// thread counts.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads, n);
+    if threads == 1 {
+        let mut scratch = init();
+        return items.iter().map(|t| f(&mut scratch, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&mut scratch, &items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed every claimed task"))
+        .collect()
+}
+
 /// [`par_map`] variant that also hands `f` the item's index.
 pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -100,6 +147,28 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = par_map(&Vec::<u32>::new(), 4, |&x| x);
         assert!(out.is_empty());
+        let out: Vec<u32> = par_map_with(&Vec::<u32>::new(), 4, || 0u64, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_variant_preserves_order_and_reuses_state() {
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 2, 5, 0] {
+            // Scratch counts tasks this worker ran; the result must not
+            // depend on it (determinism convention), only prove reuse.
+            let out = par_map_with(
+                &items,
+                threads,
+                || 0usize,
+                |seen, &x| {
+                    *seen += 1;
+                    assert!(*seen <= items.len());
+                    x * 3
+                },
+            );
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -163,12 +163,17 @@ impl RngExt for StdRng {
             return T::from_u64(self.next_u64());
         }
         // Debiased multiply-shift rejection (Lemire): exact uniformity and
-        // fast for the small spans the workspace samples.
+        // fast for the small spans the workspace samples. The rejection
+        // threshold `(2^64 - span) % span` is itself `< span`, so any draw
+        // with `low >= span` is accepted without evaluating the modulo —
+        // same accept/reject decisions, but the 64-bit division (the single
+        // most expensive operation in trace generation) runs only with
+        // probability `span / 2^64`.
         loop {
             let x = self.next_u64();
             let m = (x as u128) * (span as u128);
             let low = m as u64;
-            if low >= span.wrapping_neg() % span {
+            if low >= span || low >= span.wrapping_neg() % span {
                 return T::from_u64(lo + (m >> 64) as u64);
             }
         }
