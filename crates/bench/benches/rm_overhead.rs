@@ -1,17 +1,68 @@
 //! §III-E measurement: cost of one full RM invocation (local optimization +
-//! global curve reduction) versus core count and controller.
+//! global curve reduction) versus core count and controller, plus the PR 7
+//! warm-path gates: the persistent-forest incremental re-plan must beat the
+//! from-scratch reduction by ≥2× at 8 cores (1.5× under short CI smoke
+//! budgets) and must not allocate on the steady-state path.
 //!
 //! Run with `cargo bench -p triad-bench --bench rm_overhead`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use triad_arch::{DvfsGrid, Setting, SystemConfig};
-use triad_rm::{local_optimize, plan_system, IntervalModel, RmKind};
-use triad_util::bench::bench;
+use triad_rm::{
+    local_optimize, plan_system, DecisionMemo, IntervalModel, LocalPlan, PlannerState, RmKind,
+};
+use triad_util::bench::{bench, budget_from_env, speedup_gate};
+
+/// Recorded on the reference dev box (2026-08-07, release build): one
+/// incremental 8-core RM3 re-plan (single leaf update, O(log n) path
+/// re-reduction, budget-entry-only root) costs ~3.6 µs; the from-scratch
+/// clone-and-rebuild path this PR replaced cost ~21 µs (a ~5.9× measured
+/// speedup). Only a >50× regression fails — the hard perf contract is the
+/// in-process speedup gate below.
+const RECORDED_INCREMENTAL_NS_PER_REPLAN: f64 = 3_600.0;
+
+/// Global allocator that counts every allocation call, so the zero-alloc
+/// claim on the steady-state re-plan path is checked, not asserted in
+/// prose. Counting is monotone and `Relaxed`: the bench is single-threaded
+/// and only ever diffs the counter across a quiescent window.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// A cheap synthetic model so the bench measures the optimizer itself.
+/// `mem_ns_per_way` shapes the memory term, so two instances produce
+/// genuinely different energy curves (the alternating leaf updates below
+/// must change plan content, not just touch it).
 struct Synth {
     grid: DvfsGrid,
+    mem_s_per_way: f64,
 }
 
 impl IntervalModel for Synth {
@@ -19,30 +70,120 @@ impl IntervalModel for Synth {
         let f = self.grid.point(s.vf).freq_hz;
         let v = self.grid.point(s.vf).volt;
         let t = 1.2e-9 * 2.0e9 / f
-            + (17.0 - s.ways as f64) * 2.0e-11
+            + (17.0 - s.ways as f64) * self.mem_s_per_way
             + 4.0e-10 / s.core.dispatch_width() as f64;
         (t, (2.8 * v * v * (f / 2.0e9) + 0.6) * t)
     }
 }
 
 fn main() {
+    let budget = budget_from_env(Duration::from_millis(300));
+
     println!("rm_invocation: one full local+global RM pass");
     for n_cores in [2usize, 4, 8] {
         let sys = SystemConfig::table1(n_cores);
-        let model = Synth { grid: sys.dvfs.clone() };
+        let model = Synth { grid: sys.dvfs.clone(), mem_s_per_way: 2.0e-11 };
         let b = sys.baseline_setting();
         for rm in [RmKind::Rm1, RmKind::Rm2, RmKind::Rm3] {
-            bench(
-                &format!("rm_invocation/{}/{n_cores}cores", rm.label()),
-                None,
-                Duration::from_millis(300),
-                || {
-                    let plans: Vec<_> = (0..n_cores)
-                        .map(|_| local_optimize(&model, rm, b, &sys.dvfs, sys.way_range(), 1.0))
-                        .collect();
-                    black_box(plan_system(&plans, sys.total_ways(), b));
-                },
-            );
+            bench(&format!("rm_invocation/{}/{n_cores}cores", rm.label()), None, budget, || {
+                let plans: Vec<_> = (0..n_cores)
+                    .map(|_| local_optimize(&model, rm, b, &sys.dvfs, sys.way_range(), 1.0))
+                    .collect();
+                black_box(plan_system(&plans, sys.total_ways(), b));
+            });
         }
     }
+
+    // ---- PR 7 gate: from-scratch vs incremental re-plan at 8 cores ----
+    // The scenario every warm-path RM event pays: one core's local plan
+    // changed, the other seven are untouched. From-scratch is what the
+    // engine did before this PR (clone every cached plan, rebuild all 7
+    // pair-nodes); incremental updates one leaf in place and re-reduces
+    // only its 3 ancestors, allocation-free.
+    println!("\nrm_replan: single-leaf update, 8 cores, RM3");
+    let n_cores = 8usize;
+    let sys = SystemConfig::table1(n_cores);
+    let b = sys.baseline_setting();
+    let rm = RmKind::Rm3;
+    let model_a = Synth { grid: sys.dvfs.clone(), mem_s_per_way: 2.0e-11 };
+    let model_b = Synth { grid: sys.dvfs.clone(), mem_s_per_way: 6.0e-11 };
+    let plans: Vec<LocalPlan> = (0..n_cores)
+        .map(|_| local_optimize(&model_a, rm, b, &sys.dvfs, sys.way_range(), 1.0))
+        .collect();
+    let plan_a = plans[3].clone();
+    let plan_b = local_optimize(&model_b, rm, b, &sys.dvfs, sys.way_range(), 1.0);
+    assert!(
+        plan_a.energy.iter().zip(&plan_b.energy).any(|(x, y)| x.to_bits() != y.to_bits()),
+        "the two synthetic models must produce distinct curves or the gate is vacuous"
+    );
+
+    let mut base = plans.clone();
+    let mut toggle = false;
+    let scratch_m = bench("rm_replan/from_scratch/8cores", None, budget, || {
+        toggle = !toggle;
+        base[3] = if toggle { plan_b.clone() } else { plan_a.clone() };
+        let cloned: Vec<LocalPlan> = base.clone();
+        black_box(plan_system(&cloned, sys.total_ways(), b).predicted_energy);
+    });
+
+    let mut state = PlannerState::new(n_cores, sys.way_range(), sys.total_ways(), b);
+    for (j, p) in plans.iter().enumerate() {
+        state.set_leaf(j, p);
+    }
+    state.replan();
+    let mut toggle = false;
+    let inc_m = bench("rm_replan/incremental/8cores", None, budget, || {
+        toggle = !toggle;
+        state.set_leaf(3, if toggle { &plan_b } else { &plan_a });
+        black_box(state.replan().predicted_energy);
+    });
+
+    // Decisions must agree bit-for-bit before any perf claim counts.
+    state.set_leaf(3, &plan_a);
+    let inc_view = state.replan();
+    base[3] = plan_a.clone();
+    let scratch_dec = plan_system(&base, sys.total_ways(), b);
+    assert_eq!(inc_view.settings, &scratch_dec.settings[..]);
+    assert_eq!(inc_view.predicted_energy.to_bits(), scratch_dec.predicted_energy.to_bits());
+    assert_eq!(inc_view.ops, scratch_dec.ops);
+
+    let speedup = scratch_m.secs_per_iter / inc_m.secs_per_iter;
+    let gate = speedup_gate(budget);
+    println!("rm_replan/speedup                        {speedup:>11.2}x  (gate {gate:.1}x)");
+    assert!(
+        speedup >= gate,
+        "incremental re-plan must beat from-scratch by ≥{gate:.1}x at 8 cores, got {speedup:.2}x"
+    );
+    let inc_ns = inc_m.secs_per_iter * 1e9;
+    assert!(
+        inc_ns < RECORDED_INCREMENTAL_NS_PER_REPLAN * 50.0,
+        "catastrophic re-plan regression: {inc_ns:.0} ns/replan vs recorded \
+         {RECORDED_INCREMENTAL_NS_PER_REPLAN:.0}"
+    );
+
+    // ---- PR 7 gate: the steady-state re-plan path allocates nothing ----
+    // Outside `bench()` (which prints and appends JSON): alternate the leaf
+    // between two warmed plans, re-plan, and probe the decision memo with a
+    // borrowed key — the whole warm path the engine runs per RM event.
+    let mut memo: DecisionMemo<Vec<u64>> = DecisionMemo::new();
+    let key_a: Vec<u64> = vec![0, 3];
+    let key_b: Vec<u64> = vec![1, 3];
+    state.set_leaf(3, &plan_a);
+    memo.insert(key_a.clone(), state.replan());
+    state.set_leaf(3, &plan_b);
+    memo.insert(key_b.clone(), state.replan());
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1_000u64 {
+        let (plan, key) = if i % 2 == 0 { (&plan_a, &key_a) } else { (&plan_b, &key_b) };
+        state.set_leaf(3, plan);
+        black_box(state.replan().predicted_energy);
+        let hit = memo.get(key.as_slice()).expect("warmed joint state must hit the memo");
+        black_box(hit.ops);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state re-plan must be allocation-free: {allocs} allocations in 1000 re-plans"
+    );
+    println!("rm_replan/allocations                              0  (1000 steady-state re-plans)");
 }

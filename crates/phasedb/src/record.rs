@@ -154,6 +154,13 @@ impl PhaseDb {
     pub fn app(&self, name: &str) -> Option<&AppDbEntry> {
         self.apps.iter().find(|a| a.spec.name == name)
     }
+
+    /// Look up an application by name, also returning its stable index in
+    /// build order — a compact identity for callers that key caches by
+    /// application (e.g. the simulator's RM decision memo).
+    pub fn app_entry(&self, name: &str) -> Option<(usize, &AppDbEntry)> {
+        self.apps.iter().enumerate().find(|(_, a)| a.spec.name == name)
+    }
 }
 
 #[cfg(test)]

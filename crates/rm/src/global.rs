@@ -64,23 +64,86 @@ impl Node {
 /// iterations (the algorithm-overhead proxy).
 pub fn reduce_curves(a: &EnergyCurve, b: &EnergyCurve) -> (EnergyCurve, Vec<usize>, u64) {
     let min_s = a.min_w + b.min_w;
-    let max_s = a.max_w() + b.max_w();
-    let mut energy = vec![f64::INFINITY; max_s - min_s + 1];
-    let mut choice = vec![a.min_w; max_s - min_s + 1];
+    let len = a.energy.len() + b.energy.len() - 1;
+    let mut energy = vec![f64::INFINITY; len];
+    let mut choice = vec![a.min_w; len];
+    let ops = reduce_curves_into(a.min_w, &a.energy, b.min_w, &b.energy, &mut energy, &mut choice);
+    (EnergyCurve { min_w: min_s, energy }, choice, ops)
+}
+
+/// The allocation-free core of [`reduce_curves`]: combine two raw curves
+/// (each a `min_w` plus a dense energy slice) into caller-owned output
+/// buffers, resetting them first. `energy` and `choice` must both have
+/// length `a.len() + b.len() - 1` (the combined domain). Returns the
+/// inner-iteration count — the §III-E overhead proxy, a pure function of
+/// the two domain shapes.
+///
+/// This is what [`crate::planner::PlannerState`] calls per pair-node so a
+/// re-plan never allocates; the results are bit-identical to
+/// [`reduce_curves`] because the loop is the same.
+pub fn reduce_curves_into(
+    a_min: usize,
+    a: &[f64],
+    b_min: usize,
+    b: &[f64],
+    energy: &mut [f64],
+    choice: &mut [usize],
+) -> u64 {
+    let a_max = a_min + a.len() - 1;
+    let b_max = b_min + b.len() - 1;
+    let min_s = a_min + b_min;
+    let max_s = a_max + b_max;
+    debug_assert_eq!(energy.len(), max_s - min_s + 1, "output buffers must span the joint domain");
+    debug_assert_eq!(choice.len(), energy.len());
+    energy.fill(f64::INFINITY);
+    choice.fill(a_min);
     let mut ops = 0u64;
     for s in min_s..=max_s {
-        let wa_lo = a.min_w.max(s.saturating_sub(b.max_w()));
-        let wa_hi = a.max_w().min(s - b.min_w);
+        let wa_lo = a_min.max(s.saturating_sub(b_max));
+        let wa_hi = a_max.min(s - b_min);
         for wa in wa_lo..=wa_hi {
             ops += 1;
-            let e = a.at(wa) + b.at(s - wa);
+            let e = a[wa - a_min] + b[s - wa - b_min];
             if e < energy[s - min_s] {
                 energy[s - min_s] = e;
                 choice[s - min_s] = wa;
             }
         }
     }
-    (EnergyCurve { min_w: min_s, energy }, choice, ops)
+    ops
+}
+
+/// Evaluate one entry of the combined curve: `E_ab(s)` and its left-side
+/// argmin, without sweeping the joint domain. Returns `None` when `s` is
+/// outside it. The scan order and strict-`<` comparison are identical to
+/// [`reduce_curves_into`]'s inner loop, so the returned energy and argmin
+/// are bit-identical to the corresponding entries of the full sweep —
+/// this is how [`crate::planner::PlannerState`] evaluates the root node,
+/// whose curve is only ever read at the total-ways budget.
+pub fn reduce_curves_at(
+    a_min: usize,
+    a: &[f64],
+    b_min: usize,
+    b: &[f64],
+    s: usize,
+) -> Option<(f64, usize)> {
+    let a_max = a_min + a.len() - 1;
+    let b_max = b_min + b.len() - 1;
+    if s < a_min + b_min || s > a_max + b_max {
+        return None;
+    }
+    let wa_lo = a_min.max(s.saturating_sub(b_max));
+    let wa_hi = a_max.min(s - b_min);
+    let mut energy = f64::INFINITY;
+    let mut choice = a_min;
+    for wa in wa_lo..=wa_hi {
+        let e = a[wa - a_min] + b[s - wa - b_min];
+        if e < energy {
+            energy = e;
+            choice = wa;
+        }
+    }
+    Some((energy, choice))
 }
 
 fn build_tree(curves: &[EnergyCurve], lo: usize, hi: usize, ops: &mut u64) -> Node {
@@ -241,6 +304,31 @@ mod tests {
         assert!(e.abs() < 1e-9, "even split has zero cost here: {e}");
         // Polynomial work: far below the 15^8 exhaustive space.
         assert!(ops < 20_000, "{ops}");
+    }
+
+    #[test]
+    fn single_entry_reduction_matches_full_sweep() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let point = |rng: &mut StdRng| {
+            if rng.random_bool(0.2) {
+                f64::INFINITY
+            } else {
+                rng.random::<f64>() * 5.0
+            }
+        };
+        for _ in 0..50 {
+            let a = curve(2, (0..7).map(|_| point(&mut rng)).collect());
+            let b = curve(1, (0..9).map(|_| point(&mut rng)).collect());
+            let (full, choice, _) = reduce_curves(&a, &b);
+            for s in full.min_w..=full.max_w() {
+                let (e, wa) = reduce_curves_at(a.min_w, &a.energy, b.min_w, &b.energy, s).unwrap();
+                assert_eq!(e.to_bits(), full.at(s).to_bits());
+                assert_eq!(wa, choice[s - full.min_w]);
+            }
+            for s in [full.min_w - 1, full.max_w() + 1] {
+                assert!(reduce_curves_at(a.min_w, &a.energy, b.min_w, &b.energy, s).is_none());
+            }
+        }
     }
 
     #[test]

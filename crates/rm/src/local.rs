@@ -54,11 +54,31 @@ impl RmKind {
 
     /// Core sizes this controller may select.
     pub fn core_choices(self, baseline: CoreSize) -> Vec<CoreSize> {
+        let (buf, n) = self.core_choice_array(baseline);
+        buf[..n].to_vec()
+    }
+
+    /// [`RmKind::core_choices`] without the allocation: the choices in a
+    /// fixed-capacity array plus the live count, in the same order.
+    pub fn core_choice_array(self, baseline: CoreSize) -> ([CoreSize; CoreSize::COUNT], usize) {
+        let mut buf = [baseline; CoreSize::COUNT];
+        let mut n = 0;
         match self {
-            RmKind::Rm1 | RmKind::Rm2 => vec![baseline],
-            RmKind::Rm3 => CoreSize::ALL.iter().copied().filter(|&c| c >= baseline).collect(),
-            RmKind::Rm3Full => CoreSize::ALL.to_vec(),
+            RmKind::Rm1 | RmKind::Rm2 => n = 1,
+            RmKind::Rm3 => {
+                for c in CoreSize::ALL {
+                    if c >= baseline {
+                        buf[n] = c;
+                        n += 1;
+                    }
+                }
+            }
+            RmKind::Rm3Full => {
+                buf = CoreSize::ALL;
+                n = CoreSize::COUNT;
+            }
         }
+        (buf, n)
     }
 }
 
@@ -93,6 +113,22 @@ impl LocalPlan {
     pub fn setting_at(&self, w: usize) -> Option<Setting> {
         self.setting[w - self.min_w]
     }
+
+    /// The plan of a core with no usable statistics (it never completed an
+    /// interval, or sits vacant): feasible only at the baseline allocation,
+    /// at zero predicted energy, with no model evaluations behind it. One
+    /// such plan serves every statistics-less core of a run — the contents
+    /// never vary — so callers construct it once and share it.
+    pub fn pinned(way_range: std::ops::RangeInclusive<usize>, baseline: Setting) -> LocalPlan {
+        let min_w = *way_range.start();
+        let n = way_range.end() - min_w + 1;
+        assert!(way_range.contains(&baseline.ways), "baseline allocation must be in the domain");
+        let mut energy = vec![f64::INFINITY; n];
+        let mut setting = vec![None; n];
+        energy[baseline.ways - min_w] = 0.0;
+        setting[baseline.ways - min_w] = Some(baseline);
+        LocalPlan { min_w, energy, setting, ops: 0 }
+    }
 }
 
 /// Run the local optimization for one core.
@@ -111,6 +147,28 @@ pub fn local_optimize(
     way_range: std::ops::RangeInclusive<usize>,
     alpha: f64,
 ) -> LocalPlan {
+    let min_w = *way_range.start();
+    let n = way_range.end() - min_w + 1;
+    let mut out =
+        LocalPlan { min_w, energy: vec![f64::INFINITY; n], setting: vec![None; n], ops: 0 };
+    local_optimize_into(model, kind, baseline, grid, way_range, alpha, &mut out);
+    out
+}
+
+/// [`local_optimize`] into a caller-owned plan, so a steady-state RM
+/// invocation performs no heap allocation: `out`'s buffers are reused
+/// (they must already span `way_range`) and every field is overwritten.
+/// Results are bit-identical to [`local_optimize`] — same models queried
+/// in the same order, same `ops` count.
+pub fn local_optimize_into(
+    model: &dyn IntervalModel,
+    kind: RmKind,
+    baseline: Setting,
+    grid: &DvfsGrid,
+    way_range: std::ops::RangeInclusive<usize>,
+    alpha: f64,
+    out: &mut LocalPlan,
+) {
     let mut ops: u64 = 0;
     // Predicted baseline time is the QoS budget (Eq. 3 uses the *model* for
     // both sides, so model bias partially cancels).
@@ -119,13 +177,17 @@ pub fn local_optimize(
 
     let min_w = *way_range.start();
     let n = way_range.end() - min_w + 1;
-    let mut energy = vec![f64::INFINITY; n];
-    let mut setting = vec![None; n];
+    assert_eq!(out.energy.len(), n, "plan buffers must span the way range");
+    assert_eq!(out.setting.len(), n);
+    out.min_w = min_w;
+    let energy = &mut out.energy;
+    let setting = &mut out.setting;
 
+    let (choices, n_choices) = kind.core_choice_array(baseline.core);
     for w in way_range {
         let mut best_e = f64::INFINITY;
         let mut best_s = None;
-        for c in kind.core_choices(baseline.core) {
+        for &c in &choices[..n_choices] {
             match kind {
                 RmKind::Rm1 => {
                     // Fixed baseline VF: only feasibility and energy.
@@ -157,7 +219,7 @@ pub fn local_optimize(
         energy[w - min_w] = best_e;
         setting[w - min_w] = best_s;
     }
-    LocalPlan { min_w, energy, setting, ops }
+    out.ops = ops;
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 
 use triad_arch::{CoreSize, DvfsGrid, Setting};
 use triad_rm::{
-    local_optimize, optimize_partition, plan_system, EnergyCurve, IntervalModel, LocalPlan, RmKind,
+    local_optimize, optimize_partition, plan_system, DecisionMemo, EnergyCurve, IntervalModel,
+    LocalPlan, PlannerState, RmKind,
 };
 use triad_util::rand::rngs::StdRng;
 use triad_util::rand::{RngExt, SeedableRng};
@@ -147,6 +148,140 @@ fn plan_system_matches_brute_force_including_infeasible_entries() {
             }
         }
     }
+}
+
+/// A random [`LocalPlan`] over `min_w..min_w+len`: the curve from
+/// [`random_curves`], a distinct setting per feasible point and a random
+/// ops count (so ops-sum mismatches cannot hide).
+fn random_plan(rng: &mut StdRng, min_w: usize, len: usize, p_inf: f64) -> LocalPlan {
+    let c = random_curves(rng, 1, min_w, len, p_inf).remove(0);
+    let setting = c
+        .energy
+        .iter()
+        .enumerate()
+        .map(|(i, e)| e.is_finite().then(|| Setting::new(CoreSize::M, i % 3, min_w + i)))
+        .collect();
+    LocalPlan { min_w, energy: c.energy, setting, ops: rng.random_range(0..50u64) }
+}
+
+/// The tentpole guarantee: a persistent planner fed an arbitrary event
+/// sequence (leaf updates, pinned resets — the shapes arrivals, churn,
+/// departures and interval completions produce) returns decisions
+/// **bit-identical** to a from-scratch `plan_system` over the same plans:
+/// same settings, same predicted-energy bits, same reported `ops` —
+/// including the infeasible fallback, which counts only local ops.
+#[test]
+fn incremental_planner_matches_from_scratch_bit_for_bit() {
+    let grid = DvfsGrid::table1();
+    let mut rng = StdRng::seed_from_u64(0x1AC5);
+    for &n in &[1usize, 2, 3, 4, 5, 8, 9] {
+        let min_w = 1;
+        let len = 6; // ways 1..=6 per core
+        let way_range = min_w..=(min_w + len - 1);
+        let baseline = Setting::new(CoreSize::M, grid.baseline, 2);
+        let total = n * (2 * min_w + len - 1) / 2; // mid-domain
+        let mut state = PlannerState::new(n, way_range.clone(), total, baseline);
+        let mut mirror: Vec<LocalPlan> =
+            (0..n).map(|_| LocalPlan::pinned(way_range.clone(), baseline)).collect();
+
+        for step in 0..=60 {
+            if step > 0 {
+                // One event: some core's leaf changes.
+                let j = rng.random_range(0..n as u64) as usize;
+                if rng.random_bool(0.25) {
+                    state.set_leaf_pinned(j);
+                    mirror[j] = LocalPlan::pinned(way_range.clone(), baseline);
+                } else {
+                    let p_inf = [0.0, 0.2, 0.6][step % 3];
+                    let plan = random_plan(&mut rng, min_w, len, p_inf);
+                    state.set_leaf(j, &plan);
+                    mirror[j] = plan;
+                }
+            }
+            let scratch = plan_system(&mirror, total, baseline);
+            let inc = state.replan();
+            assert_eq!(inc.ops, scratch.ops, "n={n} step={step}: ops must match exactly");
+            assert_eq!(
+                inc.predicted_energy.to_bits(),
+                scratch.predicted_energy.to_bits(),
+                "n={n} step={step}: energy must be bit-identical"
+            );
+            assert_eq!(
+                inc.settings,
+                &scratch.settings[..],
+                "n={n} step={step}: settings must match"
+            );
+            if n <= 4 {
+                let curves: Vec<EnergyCurve> = mirror
+                    .iter()
+                    .map(|p| EnergyCurve { min_w: p.min_w, energy: p.energy.clone() })
+                    .collect();
+                match brute_force(&curves, total) {
+                    Some((_, eb)) => assert!(
+                        (inc.predicted_energy - eb).abs() < 1e-9,
+                        "n={n} step={step}: {} vs brute-force {eb}",
+                        inc.predicted_energy
+                    ),
+                    None => assert!(
+                        inc.predicted_energy.is_infinite(),
+                        "n={n} step={step}: brute force says infeasible"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// An out-of-domain ways budget must reproduce `plan_system`'s baseline
+/// fallback (infinite energy, local-only ops) from the persistent planner
+/// too.
+#[test]
+fn incremental_planner_matches_fallback_when_total_out_of_domain() {
+    let grid = DvfsGrid::table1();
+    let baseline = Setting::new(CoreSize::M, grid.baseline, 2);
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+    let (n, min_w, len) = (4usize, 1usize, 6usize);
+    let total = n * (min_w + len - 1) + 3; // larger than any allocation
+    let mut state = PlannerState::new(n, min_w..=(min_w + len - 1), total, baseline);
+    let mut mirror = Vec::new();
+    for j in 0..n {
+        let plan = random_plan(&mut rng, min_w, len, 0.1);
+        state.set_leaf(j, &plan);
+        mirror.push(plan);
+    }
+    let scratch = plan_system(&mirror, total, baseline);
+    let inc = state.replan();
+    assert!(inc.predicted_energy.is_infinite());
+    assert_eq!(inc.ops, scratch.ops, "fallback counts only the local ops");
+    assert_eq!(inc.settings, &scratch.settings[..]);
+}
+
+/// The decision memo must hand back exactly the view it was given.
+#[test]
+fn decision_memo_round_trips_bit_identical_views() {
+    let grid = DvfsGrid::table1();
+    let baseline = Setting::new(CoreSize::M, grid.baseline, 2);
+    let mut rng = StdRng::seed_from_u64(0x3E30);
+    let (n, min_w, len) = (5usize, 1usize, 6usize);
+    let mut state = PlannerState::new(n, min_w..=(min_w + len - 1), n * 3, baseline);
+    for j in 0..n {
+        let plan = random_plan(&mut rng, min_w, len, 0.15);
+        state.set_leaf(j, &plan);
+    }
+    let mut memo: DecisionMemo<Vec<u32>> = DecisionMemo::new();
+    assert!(memo.is_empty());
+    let key = vec![7u32, 8, 9];
+    {
+        let view = state.replan();
+        memo.insert(key.clone(), view);
+    }
+    assert_eq!(memo.len(), 1);
+    assert!(memo.get([1u32, 2, 3].as_slice()).is_none(), "unknown keys miss");
+    let got = memo.get(key.as_slice()).expect("stored key hits");
+    let live = state.view();
+    assert_eq!(got.settings, live.settings);
+    assert_eq!(got.predicted_energy.to_bits(), live.predicted_energy.to_bits());
+    assert_eq!(got.ops, live.ops);
 }
 
 /// A randomized-but-lawful model for local-optimizer properties.

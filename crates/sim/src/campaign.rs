@@ -16,7 +16,12 @@
 //! Execution is deterministic: the simulator itself is a pure function of
 //! its spec, workers write into order-preserving slots, and the JSON
 //! serialization is canonical — so the same campaign produces
-//! byte-identical output at any thread count. The experiment drivers in
+//! byte-identical output at any thread count. The engine's incremental
+//! planning state (the persistent reduction forest and its decision memo)
+//! is created inside each run, never shared across workers, so it adds no
+//! cross-run coupling — and its decisions, including the reported
+//! `rm_ops`, are byte-identical to the from-scratch formulation, keeping
+//! every campaign row stable across this optimization. The experiment drivers in
 //! [`crate::experiments`] and the `triad-bench` CLI are thin layers over
 //! this module.
 //!

@@ -12,7 +12,17 @@
 //! energy counts until it has executed the suite-maximum instruction count
 //! (the paper's 4146B; applications restart when they finish early), and
 //! the uncore (LLC + NoC) energy accrues until the end of the simulation.
+//!
+//! Planning is incremental: each run holds a persistent
+//! [`triad_rm::PlannerState`] (the reduction forest) plus a decision memo
+//! keyed by the joint occupant signature, wrapped in the private
+//! `RunPlanner`. An RM invocation updates exactly one leaf in place and
+//! re-reduces only its O(log n) ancestors — or skips the reduction
+//! entirely when the joint state was seen before — producing decisions
+//! (settings, predicted energy *and* reported `ops`) byte-identical to
+//! the from-scratch `plan_system` formulation.
 
+use crate::finish::FinishQueue;
 use crate::perfect::PerfectModel;
 use std::sync::Arc;
 use triad_arch::{
@@ -22,7 +32,8 @@ use triad_energy::{resize_drain_time_s, EnergyBackend, EnergyBackendConfig, Ener
 use triad_mem::DramParams;
 use triad_phasedb::{AppDbEntry, PhaseDb, PhaseRecord};
 use triad_rm::{
-    local_optimize, plan_system, LocalPlan, ModelKind, Observation, OnlineModel, RmKind,
+    local_optimize_into, DecisionMemo, LocalPlan, ModelKind, Observation, OnlineModel, PlanView,
+    PlannerState, RmKind,
 };
 use triad_workload::{EventKind, WorkloadTrace};
 
@@ -131,9 +142,12 @@ impl SimResult {
     }
 }
 
-/// Per-core live state.
+/// Per-core live state. The core's cached local plan lives in the
+/// run's [`RunPlanner`] leaf, not here — the planner owns all curves.
 struct Core<'a> {
     entry: &'a AppDbEntry,
+    /// Stable database index of `entry` (plan-identity for the memo).
+    app_id: u32,
     setting: Setting,
     /// Interval index within the (restarting) sequence.
     seq_pos: usize,
@@ -147,8 +161,6 @@ struct Core<'a> {
     energy_j: f64,
     /// Whether this app's energy is still being counted (until target).
     counting: bool,
-    /// Cached local plan from the core's last completed interval.
-    plan: Option<LocalPlan>,
     /// Setting at the start of the current interval (for QoS checks).
     interval_setting: Setting,
     /// Violation bookkeeping.
@@ -178,6 +190,73 @@ impl<'a> Core<'a> {
     /// Time until this core completes its current interval.
     fn time_to_finish(&self, sys: &SystemConfig, interval: f64) -> f64 {
         self.stall_s + (interval - self.insts_done) * self.tpi(sys)
+    }
+}
+
+/// What one planner leaf currently holds — the memo-key component for one
+/// core slot. Together with the run-fixed configuration (`RmKind`, model,
+/// α, grids, backend) a signature vector fully determines every leaf
+/// curve, hence the whole decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SlotSig {
+    /// Vacant, or occupied with no completed interval: the baseline-pinned
+    /// plan.
+    Pinned,
+    /// Planned from the identified phase record. For online models
+    /// `setting` is the interval setting whose monitor statistics fed the
+    /// model; for the perfect model the plan is setting-independent and
+    /// `setting` is the baseline.
+    Planned { app: u32, phase: u32, setting: Setting },
+}
+
+/// Per-run planning state: the persistent reduction forest, the decision
+/// memo over joint occupant signatures, and a scratch [`LocalPlan`] the
+/// model refresh writes into (one allocation per run, reused per
+/// invocation). Run-local, so campaign-level parallelism is untouched.
+struct RunPlanner {
+    state: PlannerState,
+    memo: DecisionMemo<Vec<SlotSig>>,
+    /// Current signature per core slot (the memo key).
+    sig: Vec<SlotSig>,
+    /// Buffer for the finishing core's freshly computed local plan.
+    scratch: LocalPlan,
+}
+
+impl RunPlanner {
+    fn new(sys: &SystemConfig) -> Self {
+        let baseline = sys.baseline_setting();
+        RunPlanner {
+            state: PlannerState::new(sys.n_cores, sys.way_range(), sys.total_ways(), baseline),
+            memo: DecisionMemo::new(),
+            sig: vec![SlotSig::Pinned; sys.n_cores],
+            scratch: LocalPlan::pinned(sys.way_range(), baseline),
+        }
+    }
+
+    /// Install the scratch plan as core `j`'s leaf under signature `sig`.
+    fn set_planned(&mut self, j: CoreId, sig: SlotSig) {
+        self.state.set_leaf(j, &self.scratch);
+        self.sig[j] = sig;
+    }
+
+    /// Reset core `j` to the shared pinned-baseline plan (vacated slot or
+    /// fresh arrival). No-op when the leaf is already pinned.
+    fn set_pinned(&mut self, j: CoreId) {
+        if self.sig[j] != SlotSig::Pinned {
+            self.state.set_leaf_pinned(j);
+            self.sig[j] = SlotSig::Pinned;
+        }
+    }
+
+    /// The decision for the current joint state: a memo hit skips the
+    /// reduction outright (allocation-free); a miss re-reduces the dirty
+    /// O(log n) path and stores the result.
+    fn decide(&mut self) -> PlanView<'_> {
+        if self.memo.get(self.sig.as_slice()).is_none() {
+            let view = self.state.replan();
+            self.memo.insert(self.sig.clone(), view);
+        }
+        self.memo.get(self.sig.as_slice()).expect("decision just inserted")
     }
 }
 
@@ -241,45 +320,23 @@ impl<'a> Simulator<'a> {
     pub fn run(&self, app_names: &[&str]) -> SimResult {
         assert_eq!(app_names.len(), self.sys.n_cores, "one application per core");
         let baseline = self.sys.baseline_setting();
-        let mut cores: Vec<Core<'a>> = app_names
-            .iter()
-            .map(|name| {
-                let entry = self
-                    .db
-                    .app(name)
-                    .unwrap_or_else(|| panic!("application {name} missing from the database"));
-                Core {
-                    entry,
-                    setting: baseline,
-                    seq_pos: 0,
-                    insts_done: 0.0,
-                    total_insts: 0.0,
-                    stall_s: 0.0,
-                    energy_j: 0.0,
-                    counting: true,
-                    plan: None,
-                    interval_setting: baseline,
-                    violations: 0,
-                    checked: 0,
-                    violation_sum: 0.0,
-                }
-            })
-            .collect();
+        let mut cores: Vec<Core<'a>> =
+            app_names.iter().map(|name| self.fresh_core(name, 0, baseline)).collect();
 
         let interval = self.cfg.interval_insts;
         let target_insts = self.cfg.target_intervals as f64 * interval;
+        let mut planner = RunPlanner::new(&self.sys);
+        let mut finish = FinishQueue::new(cores.len());
         let mut now = 0.0f64;
         let mut rm_invocations = 0u64;
         let mut rm_ops = 0u64;
 
         while cores.iter().any(|c| c.total_insts < target_insts) {
             // Next event: the earliest interval completion.
-            let (j, dt) = cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (i, c.time_to_finish(&self.sys, interval)))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap();
+            for (i, c) in cores.iter().enumerate() {
+                finish.set(i, c.time_to_finish(&self.sys, interval));
+            }
+            let (j, dt) = finish.min().expect("every core has a finite time to finish");
 
             // Advance every core by dt, accruing energy.
             for c in cores.iter_mut() {
@@ -293,7 +350,7 @@ impl<'a> Simulator<'a> {
             // Invoke the RM on the finishing core (Fig. 5).
             if let Some(kind) = self.cfg.rm {
                 rm_invocations += 1;
-                let ops = self.invoke_rm(&mut cores, j, kind, baseline, now);
+                let ops = self.invoke_rm(&mut cores, &mut planner, j, kind, baseline);
                 rm_ops += ops;
             } else {
                 cores[j].interval_setting = cores[j].setting;
@@ -321,38 +378,30 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Refresh core `j`'s energy curve, re-run the global optimization and
-    /// apply the new system setting (charging overheads).
+    /// Refresh core `j`'s energy curve (one leaf update), re-run the
+    /// incremental global optimization and apply the new system setting
+    /// (charging overheads). Cores that have not yet completed an interval
+    /// keep their pinned-baseline leaves.
     fn invoke_rm(
         &self,
         cores: &mut [Core<'a>],
+        planner: &mut RunPlanner,
         j: CoreId,
         kind: RmKind,
         baseline: Setting,
-        _now: f64,
     ) -> u64 {
-        let plan = self.local_plan_for(&cores[j], kind, baseline);
-        cores[j].plan = Some(plan);
+        let sig = self.local_plan_into(&cores[j], kind, baseline, &mut planner.scratch);
+        planner.set_planned(j, sig);
 
-        // Cores that have not yet completed an interval are pinned to the
-        // baseline allocation (a curve feasible only at the baseline ways).
-        let plans: Vec<LocalPlan> = cores
-            .iter()
-            .map(|c| match &c.plan {
-                Some(p) => p.clone(),
-                None => self.pinned_plan(baseline),
-            })
-            .collect();
-        let decision = plan_system(&plans, self.sys.total_ways(), baseline);
-
+        let view = planner.decide();
+        let ops = view.ops;
         // Apply, charging transition overheads.
-        let ops = decision.ops;
-        for (c, &new_setting) in cores.iter_mut().zip(&decision.settings) {
+        for (c, &new_setting) in cores.iter_mut().zip(view.settings) {
             self.apply_setting(c, new_setting);
         }
         // RM software runs on the invoking core: its time and energy are
         // charged to that core; `ops` already counts the algorithm work.
-        self.charge_rm_software(&mut cores[j], decision.ops);
+        self.charge_rm_software(&mut cores[j], ops);
         // The new interval of the finishing core starts at the new setting.
         cores[j].interval_setting = cores[j].setting;
         ops
@@ -360,21 +409,29 @@ impl<'a> Simulator<'a> {
 
     /// The model refresh of one RM invocation: read the just-completed
     /// interval's monitor statistics (or, under perfect assumptions, the
-    /// next phase's ground truth) and run the local optimization.
-    fn local_plan_for(&self, core: &Core<'a>, kind: RmKind, baseline: Setting) -> LocalPlan {
+    /// next phase's ground truth) and run the local optimization into the
+    /// caller's buffer. Returns the slot signature identifying the plan —
+    /// everything it depends on beyond the run-fixed configuration.
+    fn local_plan_into(
+        &self,
+        core: &Core<'a>,
+        kind: RmKind,
+        baseline: Setting,
+        out: &mut LocalPlan,
+    ) -> SlotSig {
         // The interval just completed ran (mostly) at `interval_setting`;
         // its monitor statistics are what the RM reads. The phase that just
         // executed is at seq_pos − 1.
         let just = core.seq_pos - 1;
         let phase = core.entry.spec.sequence[just % core.entry.spec.sequence.len()];
         let rec: &PhaseRecord = &core.entry.records[phase];
-        let cur = core.interval_setting;
-        let vf = self.sys.dvfs.point(cur.vf);
-        let util = rec.util(cur.core, vf.freq_hz, cur.ways);
-        let sampled_dyn = self.em.core_dynamic_power(cur.core, vf, util);
 
         match self.cfg.model {
             SimModel::Online(mk) => {
+                let cur = core.interval_setting;
+                let vf = self.sys.dvfs.point(cur.vf);
+                let util = rec.util(cur.core, vf.freq_hz, cur.ways);
+                let sampled_dyn = self.em.core_dynamic_power(cur.core, vf, util);
                 let model = OnlineModel {
                     obs: Observation {
                         stats: rec.monitor_at(cur.core, cur.ways),
@@ -388,17 +445,21 @@ impl<'a> Simulator<'a> {
                     energy: self.em.as_ref(),
                     lmem_s: self.lmem_s,
                 };
-                local_optimize(
+                local_optimize_into(
                     &model,
                     kind,
                     baseline,
                     &self.sys.dvfs,
                     self.sys.way_range(),
                     self.cfg.alpha,
-                )
+                    out,
+                );
+                SlotSig::Planned { app: core.app_id, phase: phase as u32, setting: cur }
             }
             SimModel::Perfect => {
                 // Perfect assumptions: the *next* interval's phase is known.
+                // The plan does not read the current setting, so the
+                // signature pins it to the baseline.
                 let next_phase =
                     core.entry.spec.sequence[core.seq_pos % core.entry.spec.sequence.len()];
                 let model = PerfectModel {
@@ -406,29 +467,18 @@ impl<'a> Simulator<'a> {
                     grid: &self.sys.dvfs,
                     energy: self.em.as_ref(),
                 };
-                local_optimize(
+                local_optimize_into(
                     &model,
                     kind,
                     baseline,
                     &self.sys.dvfs,
                     self.sys.way_range(),
                     self.cfg.alpha,
-                )
+                    out,
+                );
+                SlotSig::Planned { app: core.app_id, phase: next_phase as u32, setting: baseline }
             }
         }
-    }
-
-    /// The plan of a core with no usable statistics (never completed an
-    /// interval, or vacant): pinned to the baseline allocation — a curve
-    /// feasible only at the baseline ways.
-    fn pinned_plan(&self, baseline: Setting) -> LocalPlan {
-        let nw = self.sys.n_way_choices();
-        let min_w = *self.sys.way_range().start();
-        let mut energy = vec![f64::INFINITY; nw];
-        let mut setting = vec![None; nw];
-        energy[baseline.ways - min_w] = 0.0;
-        setting[baseline.ways - min_w] = Some(baseline);
-        LocalPlan { min_w, energy, setting, ops: 0 }
     }
 
     /// Move a core to a new setting, charging DVFS-transition and resize
@@ -535,14 +585,16 @@ impl<'a> Simulator<'a> {
     }
 
     /// A freshly arrived occupant: baseline setting, phase position
-    /// cold-started at `phase_offset`, no cached plan.
+    /// cold-started at `phase_offset`, no cached plan (its planner leaf
+    /// stays pinned until it completes an interval).
     fn fresh_core(&self, app: &str, phase_offset: usize, baseline: Setting) -> Core<'a> {
-        let entry = self
+        let (app_id, entry) = self
             .db
-            .app(app)
+            .app_entry(app)
             .unwrap_or_else(|| panic!("application {app} missing from the database"));
         Core {
             entry,
+            app_id: app_id as u32,
             setting: baseline,
             seq_pos: phase_offset,
             insts_done: 0.0,
@@ -550,7 +602,6 @@ impl<'a> Simulator<'a> {
             stall_s: 0.0,
             energy_j: 0.0,
             counting: true,
-            plan: None,
             interval_setting: baseline,
             violations: 0,
             checked: 0,
@@ -570,51 +621,43 @@ impl<'a> Simulator<'a> {
     fn invoke_rm_dyn(
         &self,
         cores: &mut [Option<Core<'a>>],
+        planner: &mut RunPlanner,
         j: CoreId,
         kind: RmKind,
         baseline: Setting,
     ) -> u64 {
         let finishing = cores[j].as_ref().expect("finishing core is occupied");
-        let plan = self.local_plan_for(finishing, kind, baseline);
-        cores[j].as_mut().expect("finishing core is occupied").plan = Some(plan);
-        let ops = self.replan(cores, Some(j), baseline);
+        let sig = self.local_plan_into(finishing, kind, baseline, &mut planner.scratch);
+        planner.set_planned(j, sig);
+        let ops = self.replan(cores, planner, Some(j));
         let c = cores[j].as_mut().expect("finishing core is occupied");
         c.interval_setting = c.setting;
         ops
     }
 
-    /// Global re-plan over the cached local plans (no model refresh):
+    /// Global re-plan over the cached planner leaves (no model refresh):
     /// invoked for every arrival/churn/departure event, and as the second
     /// half of [`Simulator::invoke_rm_dyn`]. The RM software overhead is
     /// charged to `charge_to` when that core is occupied.
     fn replan(
         &self,
         cores: &mut [Option<Core<'a>>],
+        planner: &mut RunPlanner,
         charge_to: Option<CoreId>,
-        baseline: Setting,
     ) -> u64 {
-        let plans: Vec<LocalPlan> = cores
-            .iter()
-            .map(|slot| match slot {
-                Some(c) => match &c.plan {
-                    Some(p) => p.clone(),
-                    None => self.pinned_plan(baseline),
-                },
-                None => self.pinned_plan(baseline),
-            })
-            .collect();
-        let decision = plan_system(&plans, self.sys.total_ways(), baseline);
-        for (slot, &new_setting) in cores.iter_mut().zip(&decision.settings) {
+        let view = planner.decide();
+        let ops = view.ops;
+        for (slot, &new_setting) in cores.iter_mut().zip(view.settings) {
             if let Some(c) = slot {
                 self.apply_setting(c, new_setting);
             }
         }
         if let Some(j) = charge_to {
             if let Some(c) = cores[j].as_mut() {
-                self.charge_rm_software(c, decision.ops);
+                self.charge_rm_software(c, ops);
             }
         }
-        decision.ops
+        ops
     }
 
     /// Replay a [`WorkloadTrace`] to completion.
@@ -643,6 +686,8 @@ impl<'a> Simulator<'a> {
         let idle_w = self.idle_core_power_w();
 
         let mut cores: Vec<Option<Core<'a>>> = (0..self.sys.n_cores).map(|_| None).collect();
+        let mut planner = RunPlanner::new(&self.sys);
+        let mut finish = FinishQueue::new(self.sys.n_cores);
         let mut fold = Folded::default();
         let mut now = 0.0f64;
         let mut completed = 0u64;
@@ -655,7 +700,9 @@ impl<'a> Simulator<'a> {
 
         loop {
             // Fire every event due at the current clock; a batch of events
-            // is one churn instant and triggers one global re-plan.
+            // is one churn instant and triggers one global re-plan. Both
+            // vacated slots and fresh arrivals reset their planner leaf to
+            // the pinned baseline.
             let mut fired = false;
             let mut trigger: Option<CoreId> = None;
             while ev < trace.events.len() && trace.events[ev].at <= completed {
@@ -668,6 +715,7 @@ impl<'a> Simulator<'a> {
                             fold.absorb(&c);
                             departures += 1;
                         }
+                        planner.set_pinned(e.core);
                     }
                     EventKind::Arrive { app, phase_offset } => {
                         if let Some(c) = cores[e.core].take() {
@@ -676,6 +724,7 @@ impl<'a> Simulator<'a> {
                             departures += 1;
                         }
                         cores[e.core] = Some(self.fresh_core(app, *phase_offset, baseline));
+                        planner.set_pinned(e.core);
                         arrivals += 1;
                         trigger = Some(e.core);
                     }
@@ -683,7 +732,7 @@ impl<'a> Simulator<'a> {
             }
             if fired && self.cfg.rm.is_some() {
                 rm_invocations += 1;
-                rm_ops += self.replan(&mut cores, trigger, baseline);
+                rm_ops += self.replan(&mut cores, &mut planner, trigger);
             }
             if completed >= horizon {
                 break;
@@ -701,15 +750,16 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            // Next event: the earliest interval completion among occupants.
-            let (j, dt) = cores
-                .iter()
-                .enumerate()
-                .filter_map(|(i, slot)| {
-                    slot.as_ref().map(|c| (i, c.time_to_finish(&self.sys, interval)))
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("at least one occupied core");
+            // Next event: the earliest interval completion among occupants
+            // (vacant slots sit at INFINITY and never win).
+            for (i, slot) in cores.iter().enumerate() {
+                match slot {
+                    Some(c) => finish.set(i, c.time_to_finish(&self.sys, interval)),
+                    None => finish.clear(i),
+                }
+            }
+            let (j, dt) = finish.min().expect("at least one occupied core");
+            debug_assert!(cores[j].is_some(), "the winner must be occupied");
 
             for slot in cores.iter_mut() {
                 match slot {
@@ -724,7 +774,7 @@ impl<'a> Simulator<'a> {
 
             if let Some(kind) = self.cfg.rm {
                 rm_invocations += 1;
-                rm_ops += self.invoke_rm_dyn(&mut cores, j, kind, baseline);
+                rm_ops += self.invoke_rm_dyn(&mut cores, &mut planner, j, kind, baseline);
             } else {
                 let c = cores[j].as_mut().expect("finishing core");
                 c.interval_setting = c.setting;

@@ -1,0 +1,156 @@
+//! Keyed min-index structure for the engine's earliest-finisher selection.
+//!
+//! Every loop turn the engine must find the core with the smallest
+//! time-to-finish. A linear scan is O(n) per turn — fine at 8 cores,
+//! quadratic-in-total at the cluster scale the ROADMAP targets (hundreds
+//! of cores × millions of turns). [`FinishQueue`] is a tournament
+//! (winner) tree over a fixed index range: updating one key is O(log n),
+//! reading the minimum is O(1), and ties resolve to the **lowest index**
+//! — the same winner `Iterator::min_by` (first minimal element) picks, so
+//! swapping the scan for the queue is behavior-identical.
+//!
+//! The current engine still refreshes every occupied key each turn,
+//! because advancing every core each turn (with its per-turn energy
+//! proration) is what the bit-exact goldens pin down — the win today is
+//! the O(1) min selection, and the sparse O(log n) update path is what
+//! the cluster-scale layer needs to inherit.
+
+/// A fixed-capacity winner tree mapping `index -> f64 key`, answering
+/// "which index holds the smallest key" in O(1) with O(log n) updates.
+///
+/// Vacant slots are modeled as `INFINITY` keys; [`FinishQueue::min`]
+/// returns `None` when every slot is vacant. Ties break to the lowest
+/// index.
+#[derive(Debug, Clone)]
+pub struct FinishQueue {
+    /// Number of real slots.
+    n: usize,
+    /// Leaf capacity: `n` rounded up to a power of two.
+    base: usize,
+    /// Winner indices, heap layout: `win[1]` is the overall winner,
+    /// `win[base + i]` is leaf `i`. Index 0 unused.
+    win: Vec<u32>,
+    /// Current key per leaf (`INFINITY` beyond `n` or when cleared).
+    key: Vec<f64>,
+}
+
+impl FinishQueue {
+    /// A queue over slots `0..n`, all initially vacant (`INFINITY`).
+    pub fn new(n: usize) -> Self {
+        let base = n.next_power_of_two().max(1);
+        let mut win = vec![0u32; 2 * base];
+        for i in 0..base {
+            win[base + i] = i as u32;
+        }
+        // Fill interior matches bottom-up; all keys tie at INFINITY, so
+        // every match resolves to the lower index.
+        let mut q = FinishQueue { n, base, win, key: vec![f64::INFINITY; base] };
+        for i in (1..base).rev() {
+            q.win[i] = q.winner(q.win[2 * i], q.win[2 * i + 1]);
+        }
+        q
+    }
+
+    /// The match winner: first (lower-index) minimal key, matching the
+    /// `min_by` semantics of the linear scan this structure replaces.
+    fn winner(&self, l: u32, r: u32) -> u32 {
+        if self.key[l as usize].total_cmp(&self.key[r as usize]) != std::cmp::Ordering::Greater {
+            l
+        } else {
+            r
+        }
+    }
+
+    /// Set slot `i`'s key and replay its O(log n) matches up the tree.
+    pub fn set(&mut self, i: usize, k: f64) {
+        debug_assert!(i < self.n, "slot {i} out of range (n = {})", self.n);
+        self.key[i] = k;
+        let mut node = (self.base + i) / 2;
+        while node >= 1 {
+            self.win[node] = self.winner(self.win[2 * node], self.win[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    /// Mark slot `i` vacant (its key becomes `INFINITY`).
+    pub fn clear(&mut self, i: usize) {
+        self.set(i, f64::INFINITY);
+    }
+
+    /// The occupied slot with the smallest key (lowest index on ties),
+    /// or `None` when every slot is vacant.
+    pub fn min(&self) -> Option<(usize, f64)> {
+        let w = self.win[1] as usize;
+        let k = self.key[w];
+        if k.is_infinite() && k > 0.0 {
+            return None;
+        }
+        Some((w, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_util::rand::rngs::StdRng;
+    use triad_util::rand::{RngExt, SeedableRng};
+
+    /// The linear scan the queue replaces, `min_by`-style (first minimal).
+    fn reference_min(keys: &[f64]) -> Option<(usize, f64)> {
+        keys.iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_finite())
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, &k)| (i, k))
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let q = FinishQueue::new(0);
+        assert_eq!(q.min(), None);
+        let mut q = FinishQueue::new(1);
+        assert_eq!(q.min(), None);
+        q.set(0, 3.5);
+        assert_eq!(q.min(), Some((0, 3.5)));
+        q.clear(0);
+        assert_eq!(q.min(), None);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        for n in [2usize, 3, 5, 8] {
+            let mut q = FinishQueue::new(n);
+            for i in 0..n {
+                q.set(i, 1.0);
+            }
+            assert_eq!(q.min(), Some((0, 1.0)), "n = {n}");
+            q.clear(0);
+            assert_eq!(q.min(), Some((1, 1.0)), "n = {n}");
+            // Re-occupying slot 0 with the same key must win again.
+            q.set(0, 1.0);
+            assert_eq!(q.min(), Some((0, 1.0)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_updates_match_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(2020);
+        for n in [1usize, 2, 3, 4, 7, 8, 13, 64] {
+            let mut q = FinishQueue::new(n);
+            let mut keys = vec![f64::INFINITY; n];
+            for _ in 0..500 {
+                let i = rng.random_range(0..n as u64) as usize;
+                if rng.random_bool(0.2) {
+                    q.clear(i);
+                    keys[i] = f64::INFINITY;
+                } else {
+                    // Coarse values force frequent exact ties.
+                    let k = (rng.random_range(0..8u64) as f64) * 0.25;
+                    q.set(i, k);
+                    keys[i] = k;
+                }
+                assert_eq!(q.min(), reference_min(&keys), "n = {n}");
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   core-resize drain, RM software execution) and the paper's energy
 //!   bookkeeping (§IV-D1: per-app core+memory energy until the app reaches
 //!   the suite-maximum instruction count, plus uncore energy to the end);
+//! * [`finish`] — the keyed min-index structure (tournament tree) behind
+//!   the engine's earliest-finisher selection;
 //! * [`perfect`] — the ground-truth interval model (database lookups of the
 //!   *next* interval), used for Fig. 2 and the "perfect" bars of Fig. 9;
 //! * [`workload`] — re-export of the `triad-workload` crate: Fig. 1's
@@ -29,6 +31,7 @@
 pub mod campaign;
 pub mod engine;
 pub mod experiments;
+pub mod finish;
 pub mod perfect;
 pub mod qos_eval;
 pub mod workload;

@@ -53,12 +53,12 @@
 //!    per core size, both fit frequencies fused.
 //!
 //! 3. **Block decode, lane-major execution.** Decode results are staged
-//!    into fixed-size blocks ([`BLOCK`] instructions of [`Dec`] records),
+//!    into fixed-size blocks (`BLOCK` instructions of `Dec` records),
 //!    and each lane then replays the whole block in a tight inner loop.
 //!    This turns the hot loop inside-out relative to a
 //!    lane-inside-instruction nesting: per-lane architectural state (group
 //!    cycle, redirect target, retire horizon, stall counters) stays in
-//!    registers for [`BLOCK`] iterations instead of round-tripping through
+//!    registers for `BLOCK` iterations instead of round-tripping through
 //!    memory per instruction, and the rings are **lane-major** — each
 //!    lane's cells form one contiguous ~1 KiB region that stays
 //!    L1-resident while it replays a block. Absent constraints (no
