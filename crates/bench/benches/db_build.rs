@@ -52,6 +52,15 @@ const BUILD_BASELINE_NS_PER_GRID_INST: f64 = 10.0;
 /// runners; the reference box measures ~2×.
 const FUSED_GATE: f64 = 1.5;
 
+/// The closed-form DRAM fast path (SoA lane block + packed class cells)
+/// must beat the scalar per-lane `DramQueue` walk by this factor on the
+/// memory-bound archetype (`mcf`), where every detailed instruction
+/// window is dominated by DRAM-classified loads and nothing dedups away.
+/// In-process comparison: the same engine runs the same fused 30-lane
+/// grid with `disable_dram_fast_path` flipped, so the ratio is
+/// machine-relative and holds on slow CI runners.
+const DRAM_FAST_PATH_GATE: f64 = 1.2;
+
 fn main() {
     let cfg = DbConfig::fast();
     let geom = CacheGeometry::table1_scaled(4, cfg.scale);
@@ -69,6 +78,7 @@ fn main() {
 
     let mut worst_build = 0.0f64;
     let mut worst_grid_ratio = f64::INFINITY;
+    let mut mcf_dram_ratio = 0.0f64;
     let mut fused_total = 0.0f64;
     let mut two_pass_total = 0.0f64;
     for name in ["mcf", "libquantum", "povray"] {
@@ -91,9 +101,11 @@ fn main() {
         // histogram, 6-pass lockstep grid.
         let scaled = spec.scaled(cfg.scale as u64);
         let mut engine = TimingEngine::new();
-        // The PR 5 engine had no way-equivalence lane deduplication; turn
-        // it off so the comparator measures that engine, not today's.
+        // The PR 5 engine had no way-equivalence lane deduplication and
+        // walked a scalar per-lane `DramQueue`; turn both off so the
+        // comparator measures that engine, not today's.
         engine.disable_lane_dedup(true);
+        engine.disable_dram_fast_path(true);
         let two_pass = bench(&format!("db_build/two_pass_build_{name}"), None, budget, || {
             let trace = scaled.generate(cfg.warmup + cfg.detail, cfg.seed);
             let ct = classify_warm(&trace, &geom, cfg.warmup);
@@ -167,7 +179,14 @@ fn main() {
             }
         });
         engine.disable_lane_dedup(false);
-        let fused = bench(&format!("db_build/fused_grid_{name}"), None, budget, || {
+        engine.disable_dram_fast_path(false);
+        // The fused-vs-scalar-DRAM comparison gates a ~1.3-1.6x effect, so
+        // its two windows get a floor: at the 250 ms smoke budget a ~23 ms
+        // iteration yields only ~10 samples and background-load spikes on a
+        // shared runner can push the measured ratio across the 1.2x gate.
+        // ~750 ms per side stabilizes it without loosening the gate.
+        let ab_budget = budget.max(Duration::from_millis(750));
+        let fused = bench(&format!("db_build/fused_grid_{name}"), None, ab_budget, || {
             for c in CoreSize::ALL {
                 let mut mons: Vec<MlpMonitor> =
                     (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
@@ -175,13 +194,33 @@ fn main() {
                 black_box(engine.simulate_lanes(detailed, &ct, &lo_cfg, &lanes, &mut mons));
             }
         });
+
+        // (6) The identical fused 30-lane grid with only the closed-form
+        // DRAM fast path disabled — lane dedup stays on, so the ratio
+        // isolates the PR 8 inner-loop change (SoA lane block + packed
+        // class cells vs the scalar `DramQueue` walk and class ring).
+        engine.disable_dram_fast_path(true);
+        let scalar_dram =
+            bench(&format!("db_build/scalar_dram_grid_{name}"), None, ab_budget, || {
+                for c in CoreSize::ALL {
+                    let mut mons: Vec<MlpMonitor> =
+                        (W_MIN..=W_MAX).map(|_| MlpMonitor::table1()).collect();
+                    let lo_cfg = TimingConfig::table1(c, cfg.fit_lo_hz, W_MIN);
+                    black_box(engine.simulate_lanes(detailed, &ct, &lo_cfg, &lanes, &mut mons));
+                }
+            });
+        engine.disable_dram_fast_path(false);
+        let dram_ratio = scalar_dram.secs_per_iter / fused.secs_per_iter;
         let ratio = legacy.secs_per_iter / batched.secs_per_iter;
         let grid_fused = batched.secs_per_iter / fused.secs_per_iter;
         println!(
             "db_build/grid_speedup_{name:<17} {ratio:>8.2}x lockstep over legacy, \
-             {grid_fused:>5.2}x fused over 6-pass"
+             {grid_fused:>5.2}x fused over 6-pass, {dram_ratio:>5.2}x fast DRAM over scalar"
         );
         worst_grid_ratio = worst_grid_ratio.min(ratio);
+        if name == "mcf" {
+            mcf_dram_ratio = dram_ratio;
+        }
     }
     println!(
         "db_build/baseline                        {BUILD_BASELINE_NS_PER_GRID_INST:>8.1} \
@@ -203,6 +242,11 @@ fn main() {
         agg_ratio >= FUSED_GATE,
         "the fused single-decode build must be >={FUSED_GATE}x faster than the \
          two-pass pipeline on the archetype aggregate (got {agg_ratio:.2}x)"
+    );
+    assert!(
+        mcf_dram_ratio >= DRAM_FAST_PATH_GATE,
+        "the closed-form DRAM fast path must be >={DRAM_FAST_PATH_GATE}x faster than the \
+         scalar DramQueue walk on the memory-bound archetype (got {mcf_dram_ratio:.2}x)"
     );
     assert!(
         worst_build < BUILD_BASELINE_NS_PER_GRID_INST * 50.0,

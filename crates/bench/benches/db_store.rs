@@ -40,10 +40,13 @@ fn main() {
     let speedup = cold_s / m.secs_per_iter;
     println!("db_store/warm_vs_cold_speedup            {speedup:>12.1}x");
     // PR 6 cut the cold build ~2x (single-decode lockstep grid, fused
-    // front end), which shrinks this ratio even though both sides got
-    // faster in absolute terms — the gate tracks the store's continued
-    // usefulness, not the cold path's slowness.
-    assert!(speedup >= 5.0, "warm load must be >=5x faster than a cold build (got {speedup:.1}x)");
+    // front end) and PR 8 another ~25% (closed-form DRAM fast path, tabled
+    // generator draws), which shrinks this ratio even though both sides
+    // got faster in absolute terms — the gate tracks the store's continued
+    // usefulness, not the cold path's slowness. At 0.1 s cold / ~24 ms
+    // warm the honest floor is 3x; if the cold path ever gets cheap enough
+    // to drop below that, the store itself is up for review.
+    assert!(speedup >= 3.0, "warm load must be >=3x faster than a cold build (got {speedup:.1}x)");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -48,6 +48,21 @@ fn main() {
             black_box(sum);
         });
 
+        // PR 8 reference shape: the per-instruction chain of independent
+        // `random_range` draws the tabled generator replaced. Both emit
+        // identical streams (asserted by trace-crate tests); the table
+        // must also never be slower.
+        let chained = bench(
+            &format!("trace_front/generate_chained_{name}"),
+            Some(len as u64),
+            budget,
+            || {
+                let mut sum = 0u64;
+                spec.generate_stream_chained(len, cfg.seed, |_, inst| sum ^= inst.addr);
+                black_box(sum);
+            },
+        );
+
         let split = bench(
             &format!("trace_front/gen_classify_split_{name}"),
             Some(len as u64),
@@ -77,13 +92,25 @@ fn main() {
 
         let ns = |m: &triad_util::bench::Measurement| m.secs_per_iter * 1e9 / len as f64;
         println!(
-            "trace_front/{name:<10} generate {:>5.1} ns/inst   split {:>5.1} ns/inst   \
-             fused {:>5.1} ns/inst",
+            "trace_front/{name:<10} generate {:>5.1} ns/inst (chained {:>5.1})   \
+             split {:>5.1} ns/inst   fused {:>5.1} ns/inst",
             ns(&g),
+            ns(&chained),
             ns(&split),
             ns(&fused)
         );
         worst_fused = worst_fused.max(ns(&fused));
+
+        // The tabled draw schedule replaces every per-instruction f64
+        // comparison chain and Lemire rejection loop with table lookups;
+        // it must not lose to the chain it replaced. Same 1.25 drift
+        // allowance as the fused/split gate below.
+        assert!(
+            g.secs_per_iter <= chained.secs_per_iter * 1.25,
+            "tabled generator slower than chained draws: {:.2} ms vs {:.2} ms",
+            g.secs_per_iter * 1e3,
+            chained.secs_per_iter * 1e3
+        );
 
         // The fused pass does strictly less work than the split shape
         // (no warmup materialization, no second traversal); 1.25 absorbs

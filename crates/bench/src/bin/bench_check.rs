@@ -1,0 +1,128 @@
+//! CI bench-baseline comparison: diff a `bench-results.json` (JSON Lines,
+//! appended by the gated benches when `TRIAD_BENCH_JSON` is set) against
+//! the recorded baselines in `crates/bench/bench-baselines.json` and fail
+//! on regression.
+//!
+//! Absolute iteration times are machine-dependent — a shared CI runner is
+//! several times slower than the reference dev box and varies run to run —
+//! so every tracked quantity is a **ratio** of two measurements taken in
+//! the same bench process: the optimized path over its frozen in-process
+//! comparator (fused grid over scalar-DRAM grid, tabled generator over
+//! chained draws, ...). Runner speed cancels in the ratio; what remains is
+//! exactly the relative win each PR claimed. A tracked ratio more than the
+//! baseline file's `tolerance` (1.25 = 25%) worse than its recorded
+//! dev-box value fails the step.
+//!
+//! Usage: `bench_check <bench-results.jsonl> [<baselines.json>]`
+//! (baselines default to `crates/bench/bench-baselines.json`).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use triad_util::json::{parse, Json};
+
+fn num(j: &Json) -> Option<f64> {
+    match j {
+        Json::Num(x) => Some(*x),
+        Json::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn str_of(j: &Json) -> Option<&str> {
+    match j {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let results_path = args.next().unwrap_or_else(|| "bench-results.json".into());
+    let baselines_path = args.next().unwrap_or_else(|| "crates/bench/bench-baselines.json".into());
+
+    let results = match std::fs::read_to_string(&results_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {results_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // JSON Lines; last occurrence of a label wins (benches may be rerun
+    // into the same file).
+    let mut secs: HashMap<String, f64> = HashMap::new();
+    for (ln, line) in results.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = match parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_check: {results_path}:{}: bad record: {e:?}", ln + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let (Some(label), Some(s)) =
+            (rec.get("label").and_then(str_of), rec.get("secs_per_iter").and_then(num))
+        else {
+            eprintln!("bench_check: {results_path}:{}: missing label/secs_per_iter", ln + 1);
+            return ExitCode::FAILURE;
+        };
+        secs.insert(label.to_string(), s);
+    }
+
+    let baselines = match std::fs::read_to_string(&baselines_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {baselines_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&baselines) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_check: {baselines_path}: bad JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tolerance = doc.get("tolerance").and_then(num).unwrap_or(1.25);
+    let Some(Json::Arr(ratios)) = doc.get("ratios") else {
+        eprintln!("bench_check: {baselines_path}: missing `ratios` array");
+        return ExitCode::FAILURE;
+    };
+
+    let mut failures = 0u32;
+    for entry in ratios {
+        let (Some(tracked), Some(reference), Some(baseline)) = (
+            entry.get("tracked").and_then(str_of),
+            entry.get("reference").and_then(str_of),
+            entry.get("baseline").and_then(num),
+        ) else {
+            eprintln!("bench_check: {baselines_path}: entry needs tracked/reference/baseline");
+            return ExitCode::FAILURE;
+        };
+        let (Some(&t), Some(&r)) = (secs.get(tracked), secs.get(reference)) else {
+            eprintln!("bench_check: FAIL {tracked} / {reference}: measurement missing from {results_path}");
+            failures += 1;
+            continue;
+        };
+        let cur = t / r;
+        let rel = cur / baseline;
+        let ok = cur <= baseline * tolerance;
+        println!(
+            "bench_check: {} {tracked} / {reference}: ratio {cur:.3} vs baseline {baseline:.3} \
+             ({:+.1}%, limit +{:.0}%)",
+            if ok { "ok  " } else { "FAIL" },
+            (rel - 1.0) * 100.0,
+            (tolerance - 1.0) * 100.0
+        );
+        failures += !ok as u32;
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} tracked ratio(s) regressed beyond the baseline tolerance"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: all {} tracked ratios within tolerance", ratios.len());
+    ExitCode::SUCCESS
+}

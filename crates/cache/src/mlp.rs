@@ -40,8 +40,12 @@ pub enum LmDecision {
 /// Sentinel for "no value" in the index/distance registers.
 const NONE: u32 = u32::MAX;
 
-/// Per-(core-size, allocation) counter state (Fig. 4's three registers).
+/// Per-(core-size, allocation) counter state (Fig. 4's three registers) —
+/// the scalar reference model. The monitor itself stores the same
+/// registers struct-of-arrays (see [`MlpMonitor`]); this form backs the
+/// worked-example unit tests and the SoA-equivalence property test.
 #[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))]
 struct Counter {
     last_lm_idx: u32,
     last_ov_dist: u32,
@@ -49,6 +53,7 @@ struct Counter {
     ov: u64,
 }
 
+#[cfg_attr(not(test), allow(dead_code))]
 impl Counter {
     const fn new() -> Self {
         Counter { last_lm_idx: NONE, last_ov_dist: NONE, lm: 0, ov: 0 }
@@ -84,12 +89,25 @@ impl Counter {
 
 /// The full monitor for one core: one counter per core size per
 /// way allocation.
+///
+/// Register state is held struct-of-arrays and each load's classification
+/// runs as a branch-free select sweep over one core size's contiguous way
+/// slots: a deep (cold) miss touches all `CoreSize::COUNT × n_ways`
+/// counters, which as 45 data-dependent branches dominated the monitored
+/// grid pass's feed phase. In select form the sweep vectorizes (u32
+/// registers, u32 counts — the hardware's 27-bit counters cannot wrap in
+/// an interval) and is decision-identical to the scalar `Counter`
+/// reference (test-only), which a property test asserts.
 #[derive(Debug, Clone)]
 pub struct MlpMonitor {
     min_ways: usize,
     n_ways: usize,
-    /// `CoreSize::COUNT × n_ways` counters, core-size-major.
-    counters: Vec<Counter>,
+    /// Fig. 4's three registers plus the OV count, each
+    /// `CoreSize::COUNT × n_ways` long, core-size-major.
+    last_lm_idx: Vec<u32>,
+    last_ov_dist: Vec<u32>,
+    lm: Vec<u32>,
+    ov: Vec<u32>,
 }
 
 impl MlpMonitor {
@@ -98,7 +116,15 @@ impl MlpMonitor {
     pub fn new(min_ways: usize, max_ways: usize) -> Self {
         assert!(min_ways >= 1 && max_ways >= min_ways);
         let n_ways = max_ways - min_ways + 1;
-        MlpMonitor { min_ways, n_ways, counters: vec![Counter::new(); CoreSize::COUNT * n_ways] }
+        let n = CoreSize::COUNT * n_ways;
+        MlpMonitor {
+            min_ways,
+            n_ways,
+            last_lm_idx: vec![NONE; n],
+            last_ov_dist: vec![NONE; n],
+            lm: vec![0; n],
+            ov: vec![0; n],
+        }
     }
 
     /// The Table I monitor (2..=16 ways).
@@ -133,40 +159,55 @@ impl MlpMonitor {
         if stack_dist != COLD && (stack_dist as usize) < self.min_ways {
             return; // hits even the smallest allocation: never a miss
         }
+        let mask = INSTRUCTION_INDEX_WINDOW - 1;
+        let span = upper - self.min_ways + 1;
         for c in CoreSize::ALL {
             let rob = c.rob();
             let base = c.index() * self.n_ways;
-            for w in self.min_ways..=upper {
-                self.counters[base + (w - self.min_ways)].classify(idx, rob);
+            let ll = &mut self.last_lm_idx[base..base + span];
+            let lo = &mut self.last_ov_dist[base..base + span];
+            let lm = &mut self.lm[base..base + span];
+            let ov = &mut self.ov[base..base + span];
+            for s in 0..span {
+                let d = idx.wrapping_sub(ll[s]) & mask;
+                // Fig. 4's decision tree, flattened: first-ever miss, the
+                // ROB cannot hold both, or out-of-order arrival (assumed
+                // dependent on the last LM) ⇒ new leading miss.
+                let lead = ll[s] == NONE || d >= rob || (lo[s] != NONE && d < lo[s]);
+                lm[s] += lead as u32;
+                ov[s] += !lead as u32;
+                ll[s] = if lead { idx } else { ll[s] };
+                lo[s] = if lead { NONE } else { d };
             }
         }
     }
 
     /// Leading-miss count for `(c, w)`.
     pub fn lm_count(&self, c: CoreSize, w: usize) -> u64 {
-        self.counters[self.slot(c, w)].lm
+        self.lm[self.slot(c, w)] as u64
     }
 
     /// Overlapping-miss count for `(c, w)` (diagnostic).
     pub fn ov_count(&self, c: CoreSize, w: usize) -> u64 {
-        self.counters[self.slot(c, w)].ov
+        self.ov[self.slot(c, w)] as u64
     }
 
     /// Total predicted misses observed for `(c, w)` (LM + OV). Identical
     /// across core sizes by construction.
     pub fn miss_count(&self, c: CoreSize, w: usize) -> u64 {
-        let ctr = &self.counters[self.slot(c, w)];
-        ctr.lm + ctr.ov
+        let s = self.slot(c, w);
+        (self.lm[s] + self.ov[s]) as u64
     }
 
     /// Estimated MLP for `(c, w)`: misses per leading miss (≥ 1); 1.0 when
     /// no misses were observed.
     pub fn mlp(&self, c: CoreSize, w: usize) -> f64 {
-        let ctr = &self.counters[self.slot(c, w)];
-        if ctr.lm == 0 {
+        let s = self.slot(c, w);
+        let (lm, ov) = (self.lm[s], self.ov[s]);
+        if lm == 0 {
             1.0
         } else {
-            (ctr.lm + ctr.ov) as f64 / ctr.lm as f64
+            (lm + ov) as f64 / lm as f64
         }
     }
 
@@ -182,7 +223,10 @@ impl MlpMonitor {
 
     /// Reset all counters and registers (per-interval readout).
     pub fn reset(&mut self) {
-        self.counters.fill(Counter::new());
+        self.last_lm_idx.fill(NONE);
+        self.last_ov_dist.fill(NONE);
+        self.lm.fill(0);
+        self.ov.fill(0);
     }
 
     /// Smallest tracked allocation.
@@ -199,7 +243,7 @@ impl MlpMonitor {
     /// 27-bit LM count plus the 10-bit last-LM-index and 10-bit last-OV
     /// -distance registers per counter.
     pub fn storage_bits(&self) -> usize {
-        self.counters.len() * (27 + 2 * INSTRUCTION_INDEX_BITS as usize)
+        self.lm.len() * (27 + 2 * INSTRUCTION_INDEX_BITS as usize)
     }
 }
 
@@ -246,6 +290,44 @@ mod tests {
         assert_eq!(ctr.classify(90, rob), LmDecision::Lead); // D=70 ≥ 64
         assert_eq!(ctr.lm, 3);
         assert_eq!(ctr.ov, 1);
+    }
+
+    /// The select-form SoA sweep must be decision-identical to the scalar
+    /// [`Counter`] reference for every (core size, allocation) under a
+    /// pseudo-random mix of deep, shallow and ignored loads.
+    #[test]
+    fn soa_sweep_matches_scalar_counters() {
+        let mut mon = MlpMonitor::table1();
+        let mut refs = vec![Counter::new(); CoreSize::COUNT * 15];
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..4000 {
+            // SplitMix-style scramble: index and stack distance streams.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (x >> 16) & 0x3ff;
+            let dist = match (x >> 40) % 4 {
+                0 => COLD,
+                1 => (x >> 50) as u8 % 18, // shallow-to-deep spread
+                2 => 1,                    // below min_ways: ignored
+                _ => 16,
+            };
+            mon.on_llc_load(idx, dist);
+            // Reference: the original per-counter branchy walk.
+            if dist == COLD || dist as usize >= 2 {
+                let upper = if dist == COLD { 16 } else { (dist as usize).min(16) };
+                for c in CoreSize::ALL {
+                    for w in 2..=upper {
+                        refs[c.index() * 15 + (w - 2)].classify(idx as u32 & 0x3ff, c.rob());
+                    }
+                }
+            }
+        }
+        for c in CoreSize::ALL {
+            for w in 2..=16 {
+                let r = &refs[c.index() * 15 + (w - 2)];
+                assert_eq!(mon.lm_count(c, w), r.lm, "{c} w={w} lm");
+                assert_eq!(mon.ov_count(c, w), r.ov, "{c} w={w} ov");
+            }
+        }
     }
 
     #[test]

@@ -52,8 +52,12 @@ pub struct DramQueue {
     /// Channel occupancy per request in 1/1024ths of a cycle (fixed point,
     /// keeping sub-cycle service times exact at high frequencies).
     service_fp: u64,
-    /// Fixed-point cycle at which the channel becomes free.
-    next_free_fp: u64,
+    /// Fixed-point cycle at which the channel becomes free. Widened to
+    /// u128: `arrival_cycle << 10` wraps u64 for arrivals ≥ 2^54, and a
+    /// saturated channel's horizon legitimately runs past the last arrival
+    /// by the whole backlog, so the horizon math is done wide to stay exact
+    /// over the full u64 cycle domain.
+    next_free_fp: u128,
     /// Requests observed.
     pub requests: u64,
     /// Total queueing delay in cycles (diagnostic; excludes base latency).
@@ -61,6 +65,10 @@ pub struct DramQueue {
 }
 
 const FP: u64 = 1024;
+/// `log2(FP)` — the fixed-point scaling is a pure shift. Public so replay
+/// loops that keep [`DramLaneState`] fields in parallel arrays (see
+/// [`DramLaneState::parts`]) can inline the closed-form update.
+pub const FP_SHIFT: u32 = 10;
 
 impl DramQueue {
     /// Create a queue for a core running at `freq_hz`.
@@ -77,11 +85,11 @@ impl DramQueue {
     /// Issue a request at `arrival_cycle`; returns its completion cycle.
     #[inline]
     pub fn request(&mut self, arrival_cycle: u64) -> u64 {
-        let arrival_fp = arrival_cycle * FP;
+        let arrival_fp = (arrival_cycle as u128) << FP_SHIFT;
         let start = arrival_fp.max(self.next_free_fp);
-        self.next_free_fp = start + self.service_fp;
+        self.next_free_fp = start + self.service_fp as u128;
         self.requests += 1;
-        let delay = (start - arrival_fp) / FP;
+        let delay = ((start - arrival_fp) >> FP_SHIFT) as u64;
         self.queue_cycles += delay;
         arrival_cycle + delay + self.base_cycles
     }
@@ -103,6 +111,196 @@ impl DramQueue {
         self.next_free_fp = 0;
         self.requests = 0;
         self.queue_cycles = 0;
+    }
+}
+
+/// Structure-of-arrays block of per-lane DRAM channels for the lockstep
+/// engine's grid passes: one contiguous array per queue field, indexed by
+/// lane, replacing a `Vec<DramQueue>` of interleaved scalar queues.
+///
+/// The per-request update ([`DramLaneState::request`]) is the closed-form
+/// regime split of the scalar queue. `start = max(arrival_fp,
+/// next_free_fp)` selects between the two regimes branch-freely:
+///
+/// * **unsaturated** (`arrival_fp > next_free_fp`): the request starts on
+///   arrival with zero queueing delay;
+/// * **saturated** (`arrival_fp <= next_free_fp`, i.e. `start ==
+///   next_free_fp`): completions form the arithmetic progression
+///   `next_free_fp + j·service_fp` independent of arrival, and the
+///   queueing delay is the horizon lag `(next_free_fp − arrival_fp) / FP`
+///   — emitted directly, no per-request branch or comparison chain.
+///
+/// Both `completion` and `queue_cycles` are bit-identical to
+/// [`DramQueue::request`] for every in-bound input (property-tested in
+/// `triad-uarch` across saturated / unsaturated / mixed regimes).
+///
+/// Cycle domain: the hot path stays in u64 fixed point, so callers must
+/// keep `arrival_cycle < 2^54` (debug-asserted per request). The lockstep
+/// engine enforces this with its conservative per-run cycle bound and
+/// falls back to the widened scalar queue otherwise.
+#[derive(Debug, Default, Clone)]
+pub struct DramLanes {
+    base_cycles: Vec<u64>,
+    service_fp: Vec<u64>,
+    next_free_fp: Vec<u64>,
+    requests: Vec<u64>,
+    queue_cycles: Vec<u64>,
+}
+
+/// One lane's queue state, detached from the [`DramLanes`] block so a
+/// replay loop can keep it register-resident across a block of
+/// instructions, then write it back with [`DramLanes::commit_lane`].
+#[derive(Debug, Clone, Copy)]
+pub struct DramLaneState {
+    base_cycles: u64,
+    service_fp: u64,
+    next_free_fp: u64,
+    requests: u64,
+    queue_cycles: u64,
+}
+
+impl DramLanes {
+    /// An empty block; [`DramLanes::reset`] sizes it per run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconfigure for one run: one fresh channel per frequency in
+    /// `freqs_hz`, with all horizons and counters cleared. Allocations are
+    /// reused across runs.
+    pub fn reset(&mut self, params: DramParams, freqs_hz: impl Iterator<Item = f64>) {
+        self.base_cycles.clear();
+        self.service_fp.clear();
+        self.next_free_fp.clear();
+        self.requests.clear();
+        self.queue_cycles.clear();
+        for f in freqs_hz {
+            self.base_cycles.push((params.base_latency_s * f).round() as u64);
+            self.service_fp.push((params.service_time_s() * f * FP as f64).round() as u64);
+            self.next_free_fp.push(0);
+            self.requests.push(0);
+            self.queue_cycles.push(0);
+        }
+    }
+
+    /// Number of lanes configured by the last [`DramLanes::reset`].
+    pub fn lanes(&self) -> usize {
+        self.base_cycles.len()
+    }
+
+    /// True when every lane's horizon and counters are zero — the state
+    /// [`DramLanes::reset`] leaves behind. The engine asserts this at run
+    /// entry so scratch reuse across phases can never leak `requests` /
+    /// `queue_cycles` between grid cells.
+    pub fn is_fresh(&self) -> bool {
+        self.next_free_fp.iter().all(|&v| v == 0)
+            && self.requests.iter().all(|&v| v == 0)
+            && self.queue_cycles.iter().all(|&v| v == 0)
+    }
+
+    /// Detach lane `k`'s state for a hot loop.
+    #[inline]
+    pub fn lane_state(&self, k: usize) -> DramLaneState {
+        DramLaneState {
+            base_cycles: self.base_cycles[k],
+            service_fp: self.service_fp[k],
+            next_free_fp: self.next_free_fp[k],
+            requests: self.requests[k],
+            queue_cycles: self.queue_cycles[k],
+        }
+    }
+
+    /// Write lane `k`'s detached state back.
+    #[inline]
+    pub fn commit_lane(&mut self, k: usize, st: DramLaneState) {
+        self.next_free_fp[k] = st.next_free_fp;
+        self.requests[k] = st.requests;
+        self.queue_cycles[k] = st.queue_cycles;
+    }
+
+    /// Requests lane `k` observed.
+    pub fn requests(&self, k: usize) -> u64 {
+        self.requests[k]
+    }
+
+    /// Total queueing delay lane `k` accumulated, in cycles.
+    pub fn queue_cycles(&self, k: usize) -> u64 {
+        self.queue_cycles[k]
+    }
+}
+
+impl DramLaneState {
+    /// An inert zero-frequency state — a placeholder for code paths that
+    /// are statically known never to issue a request.
+    pub const fn idle() -> Self {
+        DramLaneState {
+            base_cycles: 0,
+            service_fp: 0,
+            next_free_fp: 0,
+            requests: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Issue a request at `arrival_cycle`; returns its completion cycle.
+    /// Branch-free closed-form regime update — see [`DramLanes`].
+    #[inline(always)]
+    pub fn request(&mut self, arrival_cycle: u64) -> u64 {
+        debug_assert!(arrival_cycle < 1 << 54, "u64 fixed-point arrival bound");
+        let arrival_fp = arrival_cycle << FP_SHIFT;
+        let start = arrival_fp.max(self.next_free_fp);
+        self.next_free_fp = start + self.service_fp;
+        self.requests += 1;
+        let delay = (start - arrival_fp) >> FP_SHIFT;
+        self.queue_cycles += delay;
+        arrival_cycle + delay + self.base_cycles
+    }
+
+    /// Branch-free conditional request: evaluates the closed-form update
+    /// for a request arriving at `arrival_cycle` unconditionally and
+    /// commits the horizon advance and counters only when `go`. When `go`
+    /// the state and return value are exactly those of
+    /// [`DramLaneState::request`]; when `!go` the state is untouched (the
+    /// returned completion is then meaningless and must be discarded).
+    /// Replay loops whose "was this a DRAM access" decision is
+    /// data-dependent use this so the commit compiles to conditional
+    /// moves instead of a mispredict-prone branch.
+    #[inline(always)]
+    pub fn request_if(&mut self, go: bool, arrival_cycle: u64) -> u64 {
+        debug_assert!(arrival_cycle < 1 << 54, "u64 fixed-point arrival bound");
+        let arrival_fp = arrival_cycle << FP_SHIFT;
+        let start = arrival_fp.max(self.next_free_fp);
+        let delay = (start - arrival_fp) >> FP_SHIFT;
+        self.next_free_fp = if go { start + self.service_fp } else { self.next_free_fp };
+        self.requests += go as u64;
+        self.queue_cycles += if go { delay } else { 0 };
+        arrival_cycle + delay + self.base_cycles
+    }
+
+    /// Decompose into `(base_cycles, service_fp, next_free_fp, requests,
+    /// queue_cycles)`. Group-major replay loops (the lockstep engine's
+    /// fast path) keep these fields in lane-parallel arrays so the
+    /// closed-form update (with the public [`FP_SHIFT`]) runs elementwise
+    /// over homogeneous `u64` lanes — an array of structs would block the
+    /// vectorizer. Reassemble with [`DramLaneState::from_parts`].
+    pub fn parts(&self) -> (u64, u64, u64, u64, u64) {
+        (self.base_cycles, self.service_fp, self.next_free_fp, self.requests, self.queue_cycles)
+    }
+
+    /// Inverse of [`DramLaneState::parts`].
+    pub fn from_parts(
+        base_cycles: u64,
+        service_fp: u64,
+        next_free_fp: u64,
+        requests: u64,
+        queue_cycles: u64,
+    ) -> Self {
+        DramLaneState { base_cycles, service_fp, next_free_fp, requests, queue_cycles }
+    }
+
+    /// Zero-load latency in cycles.
+    pub fn base_cycles(&self) -> u64 {
+        self.base_cycles
     }
 }
 
@@ -182,6 +380,90 @@ mod tests {
         let q3 = DramQueue::new(DramParams::table1(), 3.0e9);
         assert_eq!(q1.base_cycles(), 100);
         assert_eq!(q3.base_cycles(), 300);
+    }
+
+    #[test]
+    fn request_is_exact_at_the_fixed_point_boundary() {
+        // `arrival_cycle * 1024` used to wrap u64 at arrival = 2^54,
+        // producing a bogus (tiny) horizon and a huge delay. The widened
+        // queue must stay exact across the boundary.
+        let mut q = DramQueue::new(DramParams::table1(), 2.0e9);
+        for arrival in [(1u64 << 54) - 1, 1 << 54, (1 << 54) + 1, 1 << 60, u64::MAX >> 2] {
+            let mut fresh = DramQueue::new(DramParams::table1(), 2.0e9);
+            assert_eq!(fresh.request(arrival), arrival + 200, "zero-load at arrival {arrival}");
+        }
+        // Saturated across the boundary: requests arriving at a fixed huge
+        // cycle must queue at the service rate, not wrap.
+        let a = 1u64 << 54;
+        let c0 = q.request(a);
+        let c1 = q.request(a);
+        let c2 = q.request(a);
+        assert_eq!(c0, a + 200);
+        assert_eq!(c1, a + 225);
+        assert_eq!(c2, a + 251);
+        assert!(q.queue_cycles > 0 && q.queue_cycles < 100);
+    }
+
+    #[test]
+    fn lane_block_matches_scalar_queue_bit_for_bit() {
+        // Saturated, unsaturated and mixed-regime arrival schedules, two
+        // frequencies: the SoA block's completions and counters must equal
+        // the scalar queue's exactly.
+        let freqs = [1.0e9, 3.25e9];
+        let mut lanes = DramLanes::new();
+        lanes.reset(DramParams::table1(), freqs.iter().copied());
+        assert!(lanes.is_fresh());
+        assert_eq!(lanes.lanes(), 2);
+        for (k, &f) in freqs.iter().enumerate() {
+            let mut scalar = DramQueue::new(DramParams::table1(), f);
+            let mut st = lanes.lane_state(k);
+            let mut arrival = 0u64;
+            let mut x = 12345u64 ^ k as u64;
+            for i in 0..50_000u64 {
+                // Alternate regimes: long saturated bursts (arrival frozen),
+                // spaced idle gaps, and small pseudo-random steps.
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                arrival += match i % 100 {
+                    0..=59 => 0,           // saturated burst
+                    60..=89 => x % 7,      // mixed
+                    _ => 1000 + (x % 512), // idle gap: unsaturated
+                };
+                assert_eq!(scalar.request(arrival), st.request(arrival), "req {i} lane {k}");
+            }
+            lanes.commit_lane(k, st);
+            assert_eq!(lanes.requests(k), scalar.requests);
+            assert_eq!(lanes.queue_cycles(k), scalar.queue_cycles);
+        }
+        assert!(!lanes.is_fresh());
+        lanes.reset(DramParams::table1(), freqs.iter().copied());
+        assert!(lanes.is_fresh(), "reset must clear horizons and counters");
+    }
+
+    #[test]
+    fn request_if_commits_only_when_go_and_parts_round_trip() {
+        // from_parts/parts must be exact inverses — the engine's fast path
+        // shuttles lane state through these on every block boundary.
+        let raw = (200u64, 26214u64, 123456u64 << FP_SHIFT, 17u64, 42u64);
+        let st = DramLaneState::from_parts(raw.0, raw.1, raw.2, raw.3, raw.4);
+        assert_eq!(st.parts(), raw);
+
+        let mut lanes = DramLanes::new();
+        lanes.reset(DramParams::table1(), [2.0e9].into_iter());
+        let fresh = lanes.lane_state(0);
+
+        // go = false: probe only. Counters and horizon must be untouched.
+        let mut probed = fresh;
+        probed.request_if(false, 100);
+        assert_eq!(probed.parts(), fresh.parts(), "a skipped request must not mutate state");
+
+        // go = true must match an unconditional request bit-for-bit, on a
+        // saturated horizon where the queueing delay is nonzero.
+        let mut a = fresh;
+        let mut b = fresh;
+        for arrival in [0u64, 0, 0, 5, 5, 1000] {
+            assert_eq!(a.request(arrival), b.request_if(true, arrival));
+        }
+        assert_eq!(a.parts(), b.parts());
     }
 
     #[test]

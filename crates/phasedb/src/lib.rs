@@ -40,7 +40,7 @@ pub mod record;
 pub mod serde;
 pub mod store;
 
-pub use build::{build_apps, build_phase, build_suite, DbConfig};
+pub use build::{build_apps, build_apps_unshared, build_phase, build_suite, DbConfig};
 pub use characterize::{characterize_app, AppCharacterization};
 pub use fingerprint::{db_fingerprint, FINGERPRINT_DOMAIN};
 pub use record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, W_MAX, W_MIN};

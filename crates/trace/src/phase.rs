@@ -22,7 +22,7 @@
 
 use crate::inst::{Inst, InstKind, Trace};
 use triad_util::rand::rngs::StdRng;
-use triad_util::rand::{RngExt, SeedableRng};
+use triad_util::rand::{Cutoff, RngExt, SeedableRng, UniformTable};
 
 /// Index of a phase within an application.
 pub type PhaseId = usize;
@@ -168,7 +168,118 @@ impl PhaseSpec {
     /// This is what lets the phase-database build classify the warmup
     /// prefix (cache-state-only) without ever allocating its `Inst`
     /// records.
+    ///
+    /// Internally every floating-point decision is replayed through the
+    /// precomputed `DrawTables` — integer threshold compares on the raw
+    /// 53-bit draws, bit-identical to the chained `random`/`random_bool`/
+    /// `random_range` schedule (see [`triad_util::rand::Cutoff`] for the
+    /// exactness argument, and `generate_stream_chained` for the reference
+    /// implementation the property tests compare against).
     pub fn generate_stream(&self, len: usize, seed: u64, mut sink: impl FnMut(usize, Inst)) {
+        self.validate().expect("invalid PhaseSpec");
+        let mut rng = StdRng::seed_from_u64(seed ^ self.tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let t = DrawTables::new(self);
+        // Per-region streaming cursors and address bases. Bases are spread
+        // (1 TiB apart) so regions never alias in any cache level.
+        let mut cursors = vec![0u64; self.regions.len()];
+        let bases: Vec<u64> = (0..self.regions.len())
+            .map(|i| (self.tag.wrapping_mul(31).wrapping_add(i as u64 + 1)) << 40)
+            .collect();
+
+        // Pointer walks chain within their own data structure: the producer
+        // of a chase load is the previous load *to the same region*.
+        let mut last_load_in: Vec<Option<usize>> = vec![None; self.regions.len()];
+        let mut cur_region: Option<usize> = None;
+        for i in 0..len {
+            let x = rng.draw53();
+            let is_load = t.kind_load.admits(x);
+            let is_store = !is_load && t.kind_load_store.admits(x);
+            let (kind, addr, chase, region) = if is_load || is_store {
+                // Sticky region selection: with probability 1 − 1/burst the
+                // access stays in the current region (runs of mean length
+                // `burst`).
+                let ri = match cur_region {
+                    Some(r) if t.stay.sample(&mut rng) => r,
+                    _ => {
+                        let u = rng.draw53();
+                        t.region_cum
+                            .iter()
+                            .position(|c| c.admits(u))
+                            .unwrap_or(self.regions.len() - 1)
+                    }
+                };
+                cur_region = Some(ri);
+                let r = &self.regions[ri];
+                let block = match r.pattern {
+                    AccessPattern::Sweep => {
+                        let b = cursors[ri];
+                        // The cursor is always < blocks, so wrap-around is a
+                        // compare, not a division.
+                        let n = b + 1;
+                        cursors[ri] = if n == r.blocks { 0 } else { n };
+                        b
+                    }
+                    AccessPattern::Uniform => t.region_addr[ri].sample(&mut rng),
+                };
+                let a = bases[ri] + block * 64;
+                let chase = is_load && last_load_in[ri].is_some() && t.chase.sample(&mut rng);
+                (if is_load { InstKind::Load } else { InstKind::Store }, a, chase, Some(ri))
+            } else if t.kind_thru_branch.admits(x) {
+                (InstKind::Branch, 0, false, None)
+            } else if t.kind_thru_longop.admits(x) {
+                (InstKind::LongOp, 0, false, None)
+            } else {
+                (InstKind::Alu, 0, false, None)
+            };
+
+            // Memory operations compute their address from integer
+            // induction/index chains that run ahead of the data flow, so a
+            // non-chase memory op is address-ready at dispatch; only the
+            // explicit `chase` flag models data-dependent addresses
+            // (pointer walks), which serialize misses within a region.
+            // Non-memory instructions consume arbitrary recent producers —
+            // including loads — which is what makes consumers stall on
+            // misses.
+            // The two `0` arms stay separate on purpose: `addr_dep` must
+            // consume its RNG draw for every non-chase memory op — including
+            // at `i == 0` — to stay draw-for-draw aligned with the chained
+            // reference generator it is proven bit-identical against.
+            #[allow(clippy::if_same_then_else)]
+            let dep1 = if chase {
+                (i - last_load_in[region.unwrap()].unwrap()) as u32
+            } else if kind.is_mem() && !t.addr_dep.sample(&mut rng) {
+                0
+            } else if i == 0 {
+                0
+            } else {
+                (t.dep.sample(&mut rng) as u32).min(i as u32)
+            };
+            let dep2 = if !kind.is_mem() && t.dep2.sample(&mut rng) && i > 0 {
+                (t.dep.sample(&mut rng) as u32).min(i as u32)
+            } else {
+                0
+            };
+            let mispredict = kind == InstKind::Branch && t.mispredict.sample(&mut rng);
+
+            if kind == InstKind::Load {
+                last_load_in[region.unwrap()] = Some(i);
+            }
+            sink(i, Inst { addr, dep1, dep2, kind, mispredict, chase });
+        }
+    }
+
+    /// The pre-PR8 draw-chained generator, retained verbatim as the
+    /// reference the tabled [`PhaseSpec::generate_stream`] is proven
+    /// against (property tests) and benchmarked against
+    /// (`trace_front`'s tabled-vs-chained gate). Not part of the public
+    /// API surface.
+    #[doc(hidden)]
+    pub fn generate_stream_chained(
+        &self,
+        len: usize,
+        seed: u64,
+        mut sink: impl FnMut(usize, Inst),
+    ) {
         self.validate().expect("invalid PhaseSpec");
         let mut rng = StdRng::seed_from_u64(seed ^ self.tag.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let total_w: f64 = self.regions.iter().map(|r| r.weight).sum();
@@ -179,15 +290,11 @@ impl PhaseSpec {
             acc += r.weight / total_w.max(f64::MIN_POSITIVE);
             cum.push(acc);
         }
-        // Per-region streaming cursors and address bases. Bases are spread
-        // (1 TiB apart) so regions never alias in any cache level.
         let mut cursors = vec![0u64; self.regions.len()];
         let bases: Vec<u64> = (0..self.regions.len())
             .map(|i| (self.tag.wrapping_mul(31).wrapping_add(i as u64 + 1)) << 40)
             .collect();
 
-        // Pointer walks chain within their own data structure: the producer
-        // of a chase load is the previous load *to the same region*.
         let mut last_load_in: Vec<Option<usize>> = vec![None; self.regions.len()];
         let mut cur_region: Option<usize> = None;
         let p_stay = 1.0 - 1.0 / self.burst;
@@ -211,14 +318,6 @@ impl PhaseSpec {
                 (InstKind::Alu, 0, false, None)
             };
 
-            // Memory operations compute their address from integer
-            // induction/index chains that run ahead of the data flow, so a
-            // non-chase memory op is address-ready at dispatch; only the
-            // explicit `chase` flag models data-dependent addresses
-            // (pointer walks), which serialize misses within a region.
-            // Non-memory instructions consume arbitrary recent producers —
-            // including loads — which is what makes consumers stall on
-            // misses.
             let dep1 = if chase {
                 (i - last_load_in[region.unwrap()].unwrap()) as u32
             } else if kind.is_mem() && !rng.random_bool(self.addr_dep) {
@@ -294,6 +393,103 @@ impl PhaseSpec {
         }
         p
     }
+
+    /// Bit-exact key of every field that drives trace generation. Two
+    /// specs with equal keys produce identical instruction streams for any
+    /// `(len, seed)` — the generator reads nothing else — so downstream
+    /// decode/classify/simulate work keyed on `(decode_key, seed, ...)`
+    /// can be shared across phases without approximation. `f64` fields are
+    /// compared by bit pattern, which is exact (and strictly finer than
+    /// `==`: it distinguishes `-0.0` from `0.0`, which the cutoff-table
+    /// construction can also distinguish through rounding).
+    pub fn decode_key(&self) -> Vec<u64> {
+        let mut k = Vec::with_capacity(11 + 3 * self.regions.len());
+        k.push(self.tag);
+        for f in [
+            self.load_frac,
+            self.store_frac,
+            self.branch_frac,
+            self.longop_frac,
+            self.mispredict_rate,
+            self.dep_mean,
+            self.dep2_prob,
+            self.chase_frac,
+            self.burst,
+            self.addr_dep,
+        ] {
+            k.push(f.to_bits());
+        }
+        for r in &self.regions {
+            k.push(r.blocks);
+            k.push(r.weight.to_bits());
+            k.push(match r.pattern {
+                AccessPattern::Uniform => 0,
+                AccessPattern::Sweep => 1,
+            });
+        }
+        k
+    }
+}
+
+/// Precomputed draw schedule for one [`PhaseSpec`]: every per-instruction
+/// floating-point comparison and every Lemire rejection threshold in the
+/// generator, tabled once up front.
+///
+/// The kind cutoffs are built from the *same left-associated cumulative
+/// sums* the chained generator evaluates per instruction (`(lf + sf) +
+/// bf` …), so the f64 rounding — and therefore every decision — is
+/// identical; see [`Cutoff`] for why the float→integer conversion is
+/// exact. `region_addr` carries one [`UniformTable`] per region (unused
+/// for sweeps, whose cursor advance draws nothing).
+struct DrawTables {
+    kind_load: Cutoff,
+    kind_load_store: Cutoff,
+    kind_thru_branch: Cutoff,
+    kind_thru_longop: Cutoff,
+    stay: Cutoff,
+    chase: Cutoff,
+    addr_dep: Cutoff,
+    dep2: Cutoff,
+    mispredict: Cutoff,
+    region_cum: Vec<Cutoff>,
+    region_addr: Vec<UniformTable>,
+    dep: UniformTable,
+}
+
+impl DrawTables {
+    fn new(spec: &PhaseSpec) -> DrawTables {
+        let lf = spec.load_frac;
+        let ls = lf + spec.store_frac;
+        let lsb = ls + spec.branch_frac;
+        let lsbl = lsb + spec.longop_frac;
+        let total_w: f64 = spec.regions.iter().map(|r| r.weight).sum();
+        let mut acc = 0.0;
+        let region_cum = spec
+            .regions
+            .iter()
+            .map(|r| {
+                acc += r.weight / total_w.max(f64::MIN_POSITIVE);
+                Cutoff::le(acc)
+            })
+            .collect();
+        let region_addr = spec.regions.iter().map(|r| UniformTable::new(0, r.blocks - 1)).collect();
+        let dep_lo = (spec.dep_mean * 0.5).ceil().max(1.0) as u32;
+        let dep_hi = (spec.dep_mean * 1.5).floor().max(dep_lo as f64) as u32;
+        DrawTables {
+            kind_load: Cutoff::lt(lf),
+            kind_load_store: Cutoff::lt(ls),
+            kind_thru_branch: Cutoff::lt(lsb),
+            kind_thru_longop: Cutoff::lt(lsbl),
+            stay: Cutoff::lt(1.0 - 1.0 / spec.burst),
+            chase: Cutoff::lt(spec.chase_frac),
+            addr_dep: Cutoff::lt(spec.addr_dep),
+            dep2: Cutoff::lt(spec.dep2_prob),
+            mispredict: Cutoff::lt(spec.mispredict_rate),
+            region_cum,
+            region_addr,
+            dep: UniformTable::new(dep_lo as u64, dep_hi as u64),
+        }
+    }
 }
 
 /// Sample a dependency distance uniform in `[lo, hi]`, clamped to the
@@ -332,6 +528,52 @@ mod tests {
             burst: 1.0,
             addr_dep: 0.5,
             regions: vec![MemRegion::reuse_kib(512, 1.0), MemRegion::stream_mib(64, 0.2)],
+        }
+    }
+
+    #[test]
+    fn tabled_generator_matches_chained_reference() {
+        // The tabled draw schedule must replay the chained generator
+        // bit-for-bit — same instructions from the same draws — across
+        // the parameter corners: sticky bursts, pure sweeps, pure
+        // uniform, chase-heavy, compute-only, and fractional mixes whose
+        // cumulative sums are not exactly representable.
+        let mut specs = vec![spec()];
+        let mut s = spec();
+        s.burst = 7.3;
+        s.chase_frac = 0.9;
+        s.regions = vec![
+            MemRegion::sweep_ways(3.5, 0.61),
+            MemRegion::reuse_kib(64, 0.17),
+            MemRegion::stream_mib(8, 0.22),
+        ];
+        specs.push(s);
+        let mut s = spec();
+        s.load_frac = 0.1;
+        s.store_frac = 0.2;
+        s.branch_frac = 0.3;
+        s.longop_frac = 0.4;
+        s.mispredict_rate = 1.0;
+        s.dep_mean = 1.0;
+        s.dep2_prob = 1.0;
+        specs.push(s);
+        let mut s = spec();
+        s.load_frac = 0.0;
+        s.store_frac = 0.0;
+        s.regions.clear();
+        specs.push(s);
+        for (si, s) in specs.iter().enumerate() {
+            for seed in [0u64, 7, 0xC0FFEE] {
+                let mut chained = Vec::new();
+                s.generate_stream_chained(20_000, seed, |_, inst| chained.push(inst));
+                let mut k = 0usize;
+                s.generate_stream(20_000, seed, |i, inst| {
+                    assert_eq!(i, k);
+                    assert_eq!(inst, chained[i], "spec {si} seed {seed} diverged at inst {i}");
+                    k += 1;
+                });
+                assert_eq!(k, chained.len());
+            }
         }
     }
 

@@ -77,13 +77,31 @@
 //!    all arithmetic stays in `u64`, so results are bit-identical to the
 //!    wide representation (asserted by property tests via
 //!    [`TimingEngine::force_wide_cycles`]).
+//!
+//! 5. **Group-major fast path.** When a run has no monitors to feed, lanes
+//!    are processed in groups of `GW` lanes with all per-lane state (cycles,
+//!    stall counters, DRAM channel horizons via
+//!    [`DramLaneState::parts`]) held in `[u64; GW]` parallel arrays and
+//!    the ring cells **group-interleaved** (`row * GW + lane` within a
+//!    group's chunk, versus the lane-major regions the scalar path uses)
+//!    so every per-instruction ring access of the group is one contiguous
+//!    `GW`-wide load/store. Each instruction's decode is unpacked once
+//!    per group and the per-lane update — including the closed-form DRAM
+//!    queue advance (`request_if` inlined elementwise with the public
+//!    [`FP_SHIFT`]) — is written in branch-free select form, which LLVM
+//!    autovectorizes (the workspace pins `-C target-cpu=native`; see
+//!    `.cargo/config.toml`). The scalar path is retained as the frozen
+//!    comparator: `SCALAR = true` instantiates the same generic body with
+//!    the original per-lane `DramQueue` walk, and property tests plus the
+//!    `db_build` bench gate assert bit-identical results and the ≥1.2×
+//!    win on the memory-bound archetype.
 
 use std::ops::RangeInclusive;
 
 use crate::model::{TimingConfig, TimingResult};
 use triad_arch::{CoreParams, CoreSize};
 use triad_cache::{is_llc_code, llc_stack_dist_of, service_level_of, ClassifiedTrace, MlpMonitor};
-use triad_mem::DramQueue;
+use triad_mem::{DramLaneState, DramLanes, DramQueue, FP_SHIFT};
 use triad_trace::{Inst, InstKind};
 
 /// Stall-attribution classes (the Eq. 1 decomposition) as ring codes.
@@ -217,6 +235,67 @@ impl Lane {
     }
 }
 
+/// Width of one fast-path lane group: the group-major lane loop replays a
+/// decoded block through `GW` representatives at once, with all per-lane
+/// state in `[u64; GW]` arrays and the ring cells of a group interleaved
+/// as `row * GW + lane`. Per-instruction work that depends only on the
+/// decode record (ring rows, path flags, latencies) is then computed once
+/// per group instead of once per lane, and the elementwise lane arithmetic
+/// is exactly the shape LLVM's SLP/loop vectorizers turn into SIMD: the
+/// model's serial dependency chain runs across *instructions*, never
+/// across lanes.
+const GW: usize = 8;
+
+/// Per-group state of the fast lane loop (see [`GW`]): the hot
+/// architectural registers of up to `GW` representative lanes as parallel
+/// arrays, living across all blocks of a run and written back to the
+/// [`Lane`]s once at the end. Positions `len..GW` are *pads* — copies of
+/// the group's first lane that keep the elementwise loops at fixed width;
+/// their results are simply never written back.
+struct GroupState {
+    /// Lane index (into the engine's lane list) per position.
+    kidx: [usize; GW],
+    /// Lane index as `u64`, for the `PATH_SPLIT` prefix compare.
+    kq: [u64; GW],
+    /// Per-position LLC-load collection flag (`false` on pads).
+    collect: [bool; GW],
+    /// Live positions; the rest are pads.
+    len: usize,
+    cog: [u64; GW],
+    dig: [u64; GW],
+    br: [u64; GW],
+    lr: [u64; GW],
+    lm_end: [u64; GW],
+    true_lm: [u64; GW],
+    dram_loads: [u64; GW],
+    dram_stores: [u64; GW],
+    /// Stall cycles by class, `stall[class][lane]`.
+    stall: [[u64; GW]; 4],
+    /// [`DramLaneState`] fields as lane-parallel arrays (see
+    /// [`DramLaneState::parts`]): the closed-form queue update runs
+    /// elementwise over homogeneous `u64` lanes.
+    dram_base: [u64; GW],
+    dram_svc: [u64; GW],
+    dram_nf: [u64; GW],
+    dram_reqs: [u64; GW],
+    dram_qcyc: [u64; GW],
+}
+
+/// A group's interleaved cells of ring `row`: one `GW`-wide contiguous
+/// chunk per row, so every per-instruction ring access of the group-major
+/// loop is a single unit-stride vector load or store. The fixed-size
+/// array return lets the compiler drop per-lane bounds checks.
+#[inline(always)]
+fn grow<C>(buf: &[C], row: usize) -> &[C; GW] {
+    buf[row * GW..row * GW + GW].try_into().unwrap()
+}
+
+/// Mutable flavor of [`grow`].
+#[inline(always)]
+fn grow_mut<C>(buf: &mut [C], row: usize) -> &mut [C; GW] {
+    (&mut buf[row * GW..row * GW + GW]).try_into().unwrap()
+}
+
 /// Cycle-cell representation of the ring buffers: `u32` when the run's
 /// conservative cycle bound fits (half the ring traffic), `u64` otherwise.
 /// All arithmetic happens in `u64`; cells only narrow storage.
@@ -295,11 +374,16 @@ pub struct TimingEngine {
     lanes: Vec<Lane>,
     /// Lane-descriptor scratch for the range-based entry points.
     lane_buf: Vec<LaneSpec>,
+    /// SoA DRAM channel block for the fast lane loop (one channel per
+    /// lane, reset per run).
+    dramv: DramLanes,
     /// Test hook: force the wide (`u64`) cell representation.
     force_wide: bool,
     /// Test/bench hook: simulate every lane even when way-equivalence
     /// proves some are clones.
     no_dedup: bool,
+    /// Test/bench hook: run the scalar-DRAM compatibility lane loop.
+    scalar_dram: bool,
 }
 
 impl TimingEngine {
@@ -323,6 +407,16 @@ impl TimingEngine {
     #[doc(hidden)]
     pub fn disable_lane_dedup(&mut self, off: bool) {
         self.no_dedup = off;
+    }
+
+    /// Run the scalar-DRAM compatibility lane loop — per-lane
+    /// [`DramQueue`]s and unpacked ring cells, the loop as it existed
+    /// before the closed-form fast path. Only useful to property-test the
+    /// fast path (results never differ) and as the `db_build` bench's
+    /// comparator — never in production paths.
+    #[doc(hidden)]
+    pub fn disable_dram_fast_path(&mut self, off: bool) {
+        self.scalar_dram = off;
     }
 
     /// Simulate `trace` (classified as `ct`) under `cfg` — the single-lane
@@ -454,7 +548,8 @@ impl TimingEngine {
         (n as u128 + 1) * per_inst as u128
     }
 
-    /// Dispatch to the narrow or wide ring representation.
+    /// Dispatch to the narrow/wide ring representation and the fast/
+    /// scalar-DRAM lane loop.
     fn run(
         &mut self,
         trace: &[Inst],
@@ -463,23 +558,59 @@ impl TimingEngine {
         monitors: Option<&mut [MlpMonitor]>,
     ) -> Vec<TimingResult> {
         assert!(!self.lane_buf.is_empty(), "at least one lane required");
-        if self.force_wide || self.cycle_bound(trace.len(), cfg) > u32::MAX as u128 {
-            let mut rings = std::mem::take(&mut self.rings64);
-            let out = self.run_cells(&mut rings, trace, ct, cfg, monitors);
-            self.rings64 = rings;
-            out
-        } else {
-            let mut rings = std::mem::take(&mut self.rings32);
-            let out = self.run_cells(&mut rings, trace, ct, cfg, monitors);
-            self.rings32 = rings;
-            out
+        let bound = self.cycle_bound(trace.len(), cfg);
+        // The fast loop packs the stall class into the low 2 bits of the
+        // `complete`/`retire` cells (stored values ×4) and runs the DRAM
+        // update in u64 fixed point (arrivals < 2^54). Both hold whenever
+        // the conservative bound does; a trace absurd enough to exceed it
+        // falls back to the scalar loop, whose widened [`DramQueue`] is
+        // exact over the full u64 cycle domain.
+        let scalar = self.scalar_dram || bound >= (1u128 << 54);
+        let stored = if scalar { bound } else { bound * 4 + 3 };
+        let narrow = !self.force_wide && stored <= u32::MAX as u128;
+        match (narrow, scalar) {
+            (true, false) => {
+                let mut rings = std::mem::take(&mut self.rings32);
+                let out = self.run_cells::<u32, false>(&mut rings, trace, ct, cfg, monitors);
+                self.rings32 = rings;
+                out
+            }
+            (true, true) => {
+                let mut rings = std::mem::take(&mut self.rings32);
+                let out = self.run_cells::<u32, true>(&mut rings, trace, ct, cfg, monitors);
+                self.rings32 = rings;
+                out
+            }
+            (false, false) => {
+                let mut rings = std::mem::take(&mut self.rings64);
+                let out = self.run_cells::<u64, false>(&mut rings, trace, ct, cfg, monitors);
+                self.rings64 = rings;
+                out
+            }
+            (false, true) => {
+                let mut rings = std::mem::take(&mut self.rings64);
+                let out = self.run_cells::<u64, true>(&mut rings, trace, ct, cfg, monitors);
+                self.rings64 = rings;
+                out
+            }
         }
     }
 
     /// The lockstep loop: decode a block of instructions once, then let
     /// every lane replay it against its own rings (module docs, points
     /// 2–3). With one lane this degenerates to the original scalar model.
-    fn run_cells<C: Cycle>(
+    ///
+    /// `SCALAR` selects the lane-loop flavor at compile time. The default
+    /// fast loop (`false`) draws DRAM completions from the SoA
+    /// [`DramLanes`] block in closed form and packs each ring cell as
+    /// `cycle << 2 | class`, fusing the cycle+class reads at the ROB and
+    /// LSQ rows into single loads and dropping the class-ring store. The
+    /// scalar loop (`true`) is the pre-fast-path code — per-lane
+    /// [`DramQueue`]s, separate class ring — kept as the bit-equality
+    /// reference and bench comparator. Both produce identical results for
+    /// every lane (property-tested across saturated / unsaturated / mixed
+    /// DRAM regimes).
+    fn run_cells<C: Cycle, const SCALAR: bool>(
         &mut self,
         rings: &mut Rings<C>,
         trace: &[Inst],
@@ -520,32 +651,38 @@ impl TimingEngine {
         let sent = cap as u32; // sentinel row of the rob-cap rings
         let isent = icap as u32; // sentinel row of the issue ring
 
-        // (Re)size scratch and re-zero the sentinel rows (geometry may have
-        // shifted stale cells under them). Stale *non-sentinel* values are
-        // never read: every such read at instruction `i` targets a row
-        // written earlier in this pass — the read distances are bounded by
-        // the ring depths and gated on `i` having advanced past them.
-        rings.complete.resize(rows * nl, C::ZERO);
-        rings.retire.resize(rows * nl, C::ZERO);
-        rings.issue.resize(irows * nl, C::ZERO);
-        self.class.resize(rows * nl, 0);
-        self.memops.resize(lcap, 0);
-        self.dec.resize(BLOCK, Dec::default());
-        for k in 0..nl {
-            rings.complete[k * rows + cap] = C::ZERO;
-            rings.retire[k * rows + cap] = C::ZERO;
-            rings.issue[k * irows + icap] = C::ZERO;
-            self.class[k * rows + cap] = CLS_COMPUTE;
-        }
         // Ascending way order is what lets the per-instruction service-level
         // decision collapse to a prefix split (see [`Dec`]).
         assert!(
             self.lane_buf.windows(2).all(|p| p[0].ways <= p[1].ways),
             "lane ways must be non-decreasing"
         );
+        self.memops.resize(lcap, 0);
+        self.dec.resize(BLOCK, Dec::default());
         self.lanes.clear();
         for spec in &self.lane_buf {
             self.lanes.push(Lane::new(cfg, spec));
+        }
+        if !SCALAR {
+            self.dramv.reset(cfg.dram, self.lane_buf.iter().map(|s| s.freq_hz));
+        }
+        // Lane-reuse audit: `PhaseScratch` drives one engine through every
+        // grid cell of a phase-db build, so every channel horizon and
+        // `requests`/`queue_cycles` counter must start this run at zero —
+        // a leak here would silently skew the next cell's DRAM timing.
+        // (The scalar loop rebuilds per-lane `DramQueue`s in `Lane::new`
+        // above, which the same assertion pattern covers by construction.)
+        debug_assert!(
+            SCALAR || self.dramv.is_fresh(),
+            "DRAM lane block must enter a run with no carried-over state"
+        );
+        // Per-distance DRAM/LLC prefix split, tabled once per run: lanes
+        // run in ascending way order, so `split_of[d]` is the first lane
+        // whose allocation exceeds stack distance `d` (decode previously
+        // re-derived this per instruction via `partition_point`).
+        let mut split_of = [0u8; 16];
+        for (dist, s) in split_of.iter_mut().enumerate() {
+            *s = self.lane_buf.partition_point(|l| l.ways <= dist) as u8;
         }
         let codes = ct.codes();
 
@@ -629,6 +766,126 @@ impl TimingEngine {
         let lat_longop = cfg.lat_longop;
         let penalty = cfg.mispredict_penalty as u64;
         let mut m = 0usize; // memory ops decoded so far
+        let rmask = rows - 1;
+        let irmask = irows - 1;
+
+        // Representative lanes (clones skip the walk entirely).
+        let mut reps_list = [0usize; 256];
+        let mut nreps = 0usize;
+        for k in 0..nl {
+            if self.rep[k] == k {
+                reps_list[nreps] = k;
+                nreps += 1;
+            }
+        }
+        // Fast-path group partition (see [`GW`]): full groups of `GW`
+        // representatives, one padded group for a remainder of two or
+        // more, and a single leftover representative routed through the
+        // single-lane tail loop (a padded group would cost ~`GW`× the
+        // work of the one lane it simulates). The scalar loop runs every
+        // representative through the tail loop — it is the pre-fast-path
+        // reference and bench comparator.
+        let (ngroups, ntail) = if SCALAR {
+            (0, nreps)
+        } else {
+            let rem = nreps % GW;
+            if rem == 1 {
+                (nreps / GW, 1)
+            } else {
+                (nreps / GW + (rem > 1) as usize, 0)
+            }
+        };
+        let tail_reps = &reps_list[nreps - ntail..nreps];
+
+        // (Re)size ring scratch and re-zero the sentinel rows (geometry or
+        // the cell layout may have shifted stale cells under them). Stale
+        // *non-sentinel* values are never read: every such read at
+        // instruction `i` targets a row written earlier in this pass — the
+        // read distances are bounded by the ring depths and gated on `i`
+        // having advanced past them — so alternating the scalar
+        // (lane-major) and fast (group-interleaved) layouts on one engine
+        // is also safe. The scalar layout gives every lane `k` a
+        // contiguous `rows`-sized region at `k * rows`; the fast layout
+        // gives group `g` a `rows * GW` region at `g * rows * GW` with
+        // cells interleaved as `row * GW + lane`, followed by one
+        // lane-major region for the leftover tail representative.
+        let tail_cbase = ngroups * rows * GW;
+        let tail_ibase = ngroups * irows * GW;
+        if SCALAR {
+            rings.complete.resize(rows * nl, C::ZERO);
+            rings.retire.resize(rows * nl, C::ZERO);
+            rings.issue.resize(irows * nl, C::ZERO);
+            self.class.resize(rows * nl, 0);
+            for k in 0..nl {
+                rings.complete[k * rows + cap] = C::ZERO;
+                rings.retire[k * rows + cap] = C::ZERO;
+                rings.issue[k * irows + icap] = C::ZERO;
+                self.class[k * rows + cap] = CLS_COMPUTE;
+            }
+        } else {
+            rings.complete.resize(tail_cbase + rows * ntail, C::ZERO);
+            rings.retire.resize(tail_cbase + rows * ntail, C::ZERO);
+            rings.issue.resize(tail_ibase + irows * ntail, C::ZERO);
+            for g in 0..ngroups {
+                for l in 0..GW {
+                    rings.complete[g * rows * GW + cap * GW + l] = C::ZERO;
+                    rings.retire[g * rows * GW + cap * GW + l] = C::ZERO;
+                    rings.issue[g * irows * GW + icap * GW + l] = C::ZERO;
+                }
+            }
+            if ntail == 1 {
+                rings.complete[tail_cbase + cap] = C::ZERO;
+                rings.retire[tail_cbase + cap] = C::ZERO;
+                rings.issue[tail_ibase + icap] = C::ZERO;
+            }
+        }
+
+        // Group state for the whole run: pads replicate the group's first
+        // lane — the replayed work is valid (so every in-loop invariant
+        // and debug assertion holds on pads too) but never written back.
+        let mut groups: Vec<GroupState> = Vec::with_capacity(ngroups);
+        for g in 0..ngroups {
+            let chunk = &reps_list[g * GW..(g * GW + GW).min(nreps)];
+            let mut kidx = [chunk[0]; GW];
+            kidx[..chunk.len()].copy_from_slice(chunk);
+            let mut kq = [0u64; GW];
+            let mut collect = [false; GW];
+            let mut dram_base = [0u64; GW];
+            let mut dram_svc = [0u64; GW];
+            let mut dram_nf = [0u64; GW];
+            let mut dram_reqs = [0u64; GW];
+            let mut dram_qcyc = [0u64; GW];
+            for l in 0..GW {
+                kq[l] = kidx[l] as u64;
+                let (b, s, nf, rq, qc) = self.dramv.lane_state(kidx[l]).parts();
+                dram_base[l] = b;
+                dram_svc[l] = s;
+                dram_nf[l] = nf;
+                dram_reqs[l] = rq;
+                dram_qcyc[l] = qc;
+                collect[l] = l < chunk.len() && self.lanes[kidx[l]].collect;
+            }
+            groups.push(GroupState {
+                kidx,
+                kq,
+                collect,
+                len: chunk.len(),
+                cog: [0; GW],
+                dig: [0; GW],
+                br: [0; GW],
+                lr: [0; GW],
+                lm_end: [0; GW],
+                true_lm: [0; GW],
+                dram_loads: [0; GW],
+                dram_stores: [0; GW],
+                stall: [[0; GW]; 4],
+                dram_base,
+                dram_svc,
+                dram_nf,
+                dram_reqs,
+                dram_qcyc,
+            });
+        }
 
         for block_start in (0..n).step_by(BLOCK) {
             let block = &trace[block_start..(block_start + BLOCK).min(n)];
@@ -698,11 +955,11 @@ impl TimingEngine {
                         3 => (PATH_FIXED, 0, cfg.lat_llc, CLS_CACHE),
                         _ => {
                             if code <= 15 {
-                                let split = specs.partition_point(|s| s.ways <= code as usize);
-                                if split == nl {
+                                let split = split_of[code as usize];
+                                if split as usize == nl {
                                     (PATH_ALL_DRAM, 0, 0, CLS_DRAM)
                                 } else {
-                                    (PATH_SPLIT, split as u8, cfg.lat_llc, CLS_CACHE)
+                                    (PATH_SPLIT, split, cfg.lat_llc, CLS_CACHE)
                                 }
                             } else {
                                 (PATH_ALL_DRAM, 0, 0, CLS_DRAM)
@@ -727,25 +984,236 @@ impl TimingEngine {
             // masked with the power-of-two region mask, which the
             // compiler proves in-bounds. ----
             let dec = &self.dec[..block.len()];
-            for (k, lane) in self.lanes.iter_mut().enumerate() {
-                if self.rep[k] != k {
-                    continue; // clone: copies its representative's state
+
+            // Group-major fast loop (see [`GW`]): the decoded record and
+            // its ring rows are unpacked once per group, then up to `GW`
+            // lanes advance in elementwise lockstep over `[u64; GW]`
+            // arrays. Every fold is a guarded assignment / select over
+            // fixed-width arrays, and each ring row is one contiguous
+            // `GW`-chunk — the shape the vectorizer lowers to SIMD
+            // compares, blends and unit-stride vector loads/stores. The
+            // per-lane math is the `SCALAR = false` arm of the tail loop
+            // below, verbatim (the equivalence suite and the `db_store`
+            // golden pin both).
+            for (g, gs) in groups.iter_mut().enumerate() {
+                let gcomp = &mut rings.complete[g * rows * GW..(g + 1) * rows * GW];
+                let gret = &mut rings.retire[g * rows * GW..(g + 1) * rows * GW];
+                let giss = &mut rings.issue[g * irows * GW..(g + 1) * irows * GW];
+                // Hot state as block-scoped locals: scalar-replaceable for
+                // certain, so nothing round-trips through memory per
+                // instruction.
+                let kidx = gs.kidx;
+                let kq = gs.kq;
+                let collect = gs.collect;
+                let mut cog = gs.cog;
+                let mut dig = gs.dig;
+                let mut br = gs.br;
+                let mut lr = gs.lr;
+                let mut lm_end = gs.lm_end;
+                let mut true_lm = gs.true_lm;
+                let mut dram_loads = gs.dram_loads;
+                let mut dram_stores = gs.dram_stores;
+                let mut stall = gs.stall;
+                let dram_base = gs.dram_base;
+                let dram_svc = gs.dram_svc;
+                let mut dram_nf = gs.dram_nf;
+                let mut dram_reqs = gs.dram_reqs;
+                let mut dram_qcyc = gs.dram_qcyc;
+                for (j, d) in dec.iter().enumerate() {
+                    // Shared per-instruction unpack — once per group, not
+                    // once per lane.
+                    let rob_row = d.rob_row as usize & rmask;
+                    let lsq_row = d.lsq_row as usize & rmask;
+                    let rs_row = d.rs_row as usize & irmask;
+                    let dep1_row = d.dep1_row as usize & rmask;
+                    let dep2_row = d.dep2_row as usize & rmask;
+                    let retw_row = d.retw_row as usize & rmask;
+                    let slot_row = d.slot_row as usize & rmask;
+                    let islot_row = d.islot_row as usize & irmask;
+                    let is_load = d.flags & FLAG_LOAD != 0;
+                    let mispred = d.flags & FLAG_MISPREDICT != 0;
+                    let retw_live = (d.flags & FLAG_RETW != 0) as u64;
+                    let all_dram = d.path == PATH_ALL_DRAM;
+                    let is_split = d.path == PATH_SPLIT;
+                    let split = d.split as u64;
+                    let lat = d.lat as u64;
+                    let dcls = d.cls as u64;
+
+                    // Ring reads, widened to `u64` lanes (classes ride as
+                    // `u64` too so every array is lane-homogeneous).
+                    let mut rr = [0u64; GW];
+                    let mut rcl = [0u64; GW];
+                    let rp = grow(gret, rob_row);
+                    for l in 0..GW {
+                        let p = rp[l].get();
+                        rr[l] = p >> 2;
+                        rcl[l] = p & 3;
+                    }
+                    let mut oc = [0u64; GW];
+                    let mut lcl = [0u64; GW];
+                    let op = grow(gcomp, lsq_row);
+                    for l in 0..GW {
+                        let p = op[l].get();
+                        oc[l] = p >> 2;
+                        lcl[l] = p & 3;
+                    }
+                    let mut il = [0u64; GW];
+                    let ip = grow(giss, rs_row);
+                    for l in 0..GW {
+                        il[l] = ip[l].get();
+                    }
+                    let mut d1c = [0u64; GW];
+                    let d1p = grow(gcomp, dep1_row);
+                    for l in 0..GW {
+                        d1c[l] = d1p[l].get() >> 2;
+                    }
+                    let mut d2c = [0u64; GW];
+                    let d2p = grow(gcomp, dep2_row);
+                    for l in 0..GW {
+                        d2c[l] = d2p[l].get() >> 2;
+                    }
+                    let mut rw = [0u64; GW];
+                    let rwp = grow(gret, retw_row);
+                    for l in 0..GW {
+                        rw[l] = rwp[l].get() >> 2;
+                    }
+
+                    let mut start_a = [0u64; GW];
+                    let mut fin_a = [0u64; GW];
+                    let mut r_a = [0u64; GW];
+                    let mut fc_a = [0u64; GW];
+                    for l in 0..GW {
+                        let mut cand = cog[l];
+                        let mut reason = CLS_COMPUTE as u64;
+                        if br[l] > cand {
+                            cand = br[l];
+                            reason = CLS_BRANCH as u64;
+                        }
+                        if rr[l] > cand {
+                            cand = rr[l];
+                            reason = rcl[l];
+                        }
+                        if il[l] > cand {
+                            cand = il[l];
+                            reason = CLS_COMPUTE as u64;
+                        }
+                        if oc[l] > cand {
+                            cand = oc[l];
+                            reason = lcl[l];
+                        }
+                        let adv = cand > cog[l];
+                        let wrap = !adv & (dig[l] >= width as u64);
+                        cog[l] = if adv { cand } else { cog[l] + wrap as u64 };
+                        dig[l] = if adv | wrap { 1 } else { dig[l] + 1 };
+                        let dispatch = cog[l];
+                        debug_assert!(rr[l] <= dispatch, "ROB bound violated");
+                        let start = (dispatch + 1).max(d1c[l]).max(d2c[l]);
+                        let to_dram = all_dram | (is_split & (kq[l] < split));
+                        let arrival = start + lat_llc;
+                        // Closed-form DRAM update, inlined elementwise
+                        // (bit-identical to [`DramLaneState::request_if`];
+                        // the u64 fixed-point domain is guarded by the
+                        // run's cycle bound at dispatch).
+                        let arrival_fp = arrival << FP_SHIFT;
+                        let qstart = arrival_fp.max(dram_nf[l]);
+                        let delay = (qstart - arrival_fp) >> FP_SHIFT;
+                        dram_nf[l] = if to_dram { qstart + dram_svc[l] } else { dram_nf[l] };
+                        dram_reqs[l] += to_dram as u64;
+                        dram_qcyc[l] += if to_dram { delay } else { 0 };
+                        let done = arrival + delay + dram_base[l];
+                        let dram_load = to_dram & is_load;
+                        let lead = dram_load & (arrival >= lm_end[l]);
+                        true_lm[l] += lead as u64;
+                        lm_end[l] = if lead { done } else { lm_end[l] };
+                        dram_loads[l] += dram_load as u64;
+                        dram_stores[l] += (to_dram & !is_load) as u64;
+                        let dram_fin = if is_load { done } else { start + 1 };
+                        let fin = if to_dram { dram_fin } else { start + lat };
+                        let dram_cls = if is_load { CLS_DRAM } else { CLS_COMPUTE } as u64;
+                        let cls = if to_dram { dram_cls } else { dcls };
+                        let final_class =
+                            if cls == CLS_COMPUTE as u64 && reason == CLS_BRANCH as u64 {
+                                CLS_BRANCH as u64
+                            } else {
+                                cls
+                            };
+                        br[l] = if mispred { fin + penalty } else { br[l] };
+                        let base = lr[l].max(rw[l] + retw_live);
+                        let r = fin.max(base);
+                        debug_assert!(r >= lr[l], "retire must be monotone");
+                        lr[l] = r;
+                        let diff = r - base;
+                        stall[0][l] += if final_class == 0 { diff } else { 0 };
+                        stall[1][l] += if final_class == 1 { diff } else { 0 };
+                        stall[2][l] += if final_class == 2 { diff } else { 0 };
+                        stall[3][l] += if final_class == 3 { diff } else { 0 };
+                        start_a[l] = start;
+                        fin_a[l] = fin;
+                        r_a[l] = r;
+                        fc_a[l] = final_class;
+                    }
+
+                    let sp = grow_mut(giss, islot_row);
+                    for l in 0..GW {
+                        sp[l] = C::of(start_a[l]);
+                    }
+                    let cw = grow_mut(gcomp, slot_row);
+                    for l in 0..GW {
+                        cw[l] = C::of(fin_a[l] << 2 | fc_a[l]);
+                    }
+                    let rwr = grow_mut(gret, slot_row);
+                    for l in 0..GW {
+                        rwr[l] = C::of(r_a[l] << 2 | fc_a[l]);
+                    }
+
+                    if d.flags & FLAG_COLLECT != 0 {
+                        for l in 0..GW {
+                            if collect[l] {
+                                self.llc_loads[kidx[l]].push((
+                                    start_a[l],
+                                    (block_start + j) as u32,
+                                    d.code,
+                                ));
+                            }
+                        }
+                    }
                 }
-                let cbase = k * rows;
-                let ibase = k * irows;
+                gs.cog = cog;
+                gs.dig = dig;
+                gs.br = br;
+                gs.lr = lr;
+                gs.lm_end = lm_end;
+                gs.true_lm = true_lm;
+                gs.dram_loads = dram_loads;
+                gs.dram_stores = dram_stores;
+                gs.stall = stall;
+                gs.dram_nf = dram_nf;
+                gs.dram_reqs = dram_reqs;
+                gs.dram_qcyc = dram_qcyc;
+            }
+
+            // Single-lane tail: every representative in the scalar loop,
+            // the single leftover representative in the fast loop.
+            for &k in tail_reps {
+                let lane = &mut self.lanes[k];
+                let cbase = if SCALAR { k * rows } else { tail_cbase };
+                let ibase = if SCALAR { k * irows } else { tail_ibase };
                 let complete = &mut rings.complete[cbase..cbase + rows];
                 let retire = &mut rings.retire[cbase..cbase + rows];
                 let issue = &mut rings.issue[ibase..ibase + irows];
-                let class = &mut self.class[cbase..cbase + rows];
-                let rmask = rows - 1;
-                let irmask = irows - 1;
+                let class: &mut [u8] =
+                    if SCALAR { &mut self.class[cbase..cbase + rows] } else { &mut [] };
                 let lv = &mut self.llc_loads[k];
                 let lane_collect = lane.collect;
                 let ku8 = k as u8;
                 // Hot lane state lives in locals for the whole block; the
                 // stall counters live in a class-indexed array so
                 // attribution is an unconditional indexed add (class 0,
-                // compute, is the discarded dummy slot).
+                // compute, is the discarded dummy slot). The fast loop
+                // additionally detaches the lane's DRAM channel state from
+                // the SoA block so the closed-form update runs on
+                // registers.
+                let mut dq = if SCALAR { DramLaneState::idle() } else { self.dramv.lane_state(k) };
                 let mut cog = lane.cycle_of_group;
                 let mut dig = lane.dispatched_in_group;
                 let mut br = lane.branch_resume;
@@ -755,10 +1223,24 @@ impl TimingEngine {
                 for (j, d) in dec.iter().enumerate() {
                     // ---- dispatch: fold the five constraints in priority
                     // order; each strictly-greater candidate takes both the
-                    // cycle and the blame.
-                    let rr = retire[d.rob_row as usize & rmask].get();
+                    // cycle and the blame. In the fast loop the ROB/LSQ
+                    // rows carry `cycle << 2 | class` in one cell, so the
+                    // cycle and its blame class arrive in a single load.
+                    let rob_idx = d.rob_row as usize & rmask;
+                    let lsq_idx = d.lsq_row as usize & rmask;
+                    let (rr, rob_cls) = if SCALAR {
+                        (retire[rob_idx].get(), 0u8)
+                    } else {
+                        let p = retire[rob_idx].get();
+                        (p >> 2, (p & 3) as u8)
+                    };
+                    let (oc, lsq_cls) = if SCALAR {
+                        (complete[lsq_idx].get(), 0u8)
+                    } else {
+                        let p = complete[lsq_idx].get();
+                        (p >> 2, (p & 3) as u8)
+                    };
                     let il = issue[d.rs_row as usize & irmask].get();
-                    let oc = complete[d.lsq_row as usize & rmask].get();
                     let mut cand = cog;
                     let mut reason = CLS_COMPUTE;
                     if br > cand {
@@ -767,7 +1249,8 @@ impl TimingEngine {
                     }
                     if rr > cand {
                         cand = rr;
-                        reason = class[d.rob_row as usize & rmask]; // ROB head's class
+                        // ROB head's class
+                        reason = if SCALAR { class[rob_idx] } else { rob_cls };
                     }
                     if il > cand {
                         cand = il;
@@ -775,7 +1258,7 @@ impl TimingEngine {
                     }
                     if oc > cand {
                         cand = oc;
-                        reason = class[d.lsq_row as usize & rmask];
+                        reason = if SCALAR { class[lsq_idx] } else { lsq_cls };
                     }
                     // Group advance: an external stall opens a new group at
                     // `cand`; a full group opens the next cycle's group.
@@ -798,16 +1281,19 @@ impl TimingEngine {
                     debug_assert!(rr <= dispatch, "ROB bound violated");
 
                     // ---- issue (operand readiness) ----
-                    let start = (dispatch + 1)
-                        .max(complete[d.dep1_row as usize & rmask].get())
-                        .max(complete[d.dep2_row as usize & rmask].get());
+                    let dep1c = complete[d.dep1_row as usize & rmask].get();
+                    let dep2c = complete[d.dep2_row as usize & rmask].get();
+                    let (dep1c, dep2c) =
+                        if SCALAR { (dep1c, dep2c) } else { (dep1c >> 2, dep2c >> 2) };
+                    let start = (dispatch + 1).max(dep1c).max(dep2c);
 
                     // ---- complete ----
                     let to_dram =
                         d.path == PATH_ALL_DRAM || (d.path == PATH_SPLIT && ku8 < d.split);
                     let (fin, cls) = if to_dram {
                         let arrival = start + lat_llc;
-                        let done = lane.dram.request(arrival);
+                        let done =
+                            if SCALAR { lane.dram.request(arrival) } else { dq.request(arrival) };
                         if d.flags & FLAG_LOAD != 0 {
                             lane.dram_loads += 1;
                             if arrival >= lane.lm_end {
@@ -845,19 +1331,30 @@ impl TimingEngine {
                     // out exactly via the sentinel + FLAG_RETW when
                     // `i < width`.
                     let retw_live = (d.flags & FLAG_RETW != 0) as u64;
-                    let base = lr.max(retire[d.retw_row as usize & rmask].get() + retw_live);
+                    let retw = retire[d.retw_row as usize & rmask].get();
+                    let retw = if SCALAR { retw } else { retw >> 2 };
+                    let base = lr.max(retw + retw_live);
                     let r = fin.max(base);
                     // Second leg of the ring-bound proof: retire is
                     // monotone.
                     debug_assert!(r >= lr, "retire must be monotone");
                     lr = r;
                     issue[d.islot_row as usize & irmask] = C::of(start);
-                    complete[d.slot_row as usize & rmask] = C::of(fin);
-                    retire[d.slot_row as usize & rmask] = C::of(r);
-                    class[d.slot_row as usize & rmask] = final_class;
+                    if SCALAR {
+                        complete[d.slot_row as usize & rmask] = C::of(fin);
+                        retire[d.slot_row as usize & rmask] = C::of(r);
+                        class[d.slot_row as usize & rmask] = final_class;
+                    } else {
+                        let cls_bits = final_class as u64;
+                        complete[d.slot_row as usize & rmask] = C::of(fin << 2 | cls_bits);
+                        retire[d.slot_row as usize & rmask] = C::of(r << 2 | cls_bits);
+                    }
                     stall[(final_class & 3) as usize] += r - base;
                 }
 
+                if !SCALAR {
+                    self.dramv.commit_lane(k, dq);
+                }
                 lane.cycle_of_group = cog;
                 lane.dispatched_in_group = dig;
                 lane.branch_resume = br;
@@ -865,6 +1362,37 @@ impl TimingEngine {
                 lane.c_branch += stall[CLS_BRANCH as usize];
                 lane.c_cache += stall[CLS_CACHE as usize];
                 lane.c_dram += stall[CLS_DRAM as usize];
+            }
+        }
+
+        // Write each group's end state back to its representative lanes
+        // and commit the DRAM horizons (pads — positions past `len` — die
+        // here, unobserved).
+        for gs in &groups {
+            for l in 0..gs.len {
+                let k = gs.kidx[l];
+                self.dramv.commit_lane(
+                    k,
+                    DramLaneState::from_parts(
+                        gs.dram_base[l],
+                        gs.dram_svc[l],
+                        gs.dram_nf[l],
+                        gs.dram_reqs[l],
+                        gs.dram_qcyc[l],
+                    ),
+                );
+                let lane = &mut self.lanes[k];
+                lane.cycle_of_group = gs.cog[l];
+                lane.dispatched_in_group = gs.dig[l];
+                lane.branch_resume = gs.br[l];
+                lane.last_retire = gs.lr[l];
+                lane.lm_end = gs.lm_end[l];
+                lane.true_lm = gs.true_lm[l];
+                lane.dram_loads = gs.dram_loads[l];
+                lane.dram_stores = gs.dram_stores[l];
+                lane.c_branch += gs.stall[CLS_BRANCH as usize][l];
+                lane.c_cache += gs.stall[CLS_CACHE as usize][l];
+                lane.c_dram += gs.stall[CLS_DRAM as usize][l];
             }
         }
 

@@ -230,6 +230,73 @@ fn dedup_extremes_match_legacy() {
     }
 }
 
+/// The closed-form DRAM fast path (SoA lane block + packed ring cells)
+/// against the scalar-queue compatibility loop, across the DRAM regimes
+/// that exercise both arms of the closed form: a streaming phase
+/// (channel saturated — completions ride the arithmetic progression), a
+/// cache-resident phase (unsaturated — the queue never backs up), and
+/// randomized mixed phases. Every lane's result and every monitor
+/// counter must be bit-identical.
+#[test]
+fn dram_fast_path_matches_scalar_queue() {
+    let geom = CacheGeometry::table1_scaled(4, 16);
+    let mut rng = StdRng::seed_from_u64(0xD3A2);
+    let base = random_spec(&mut rng).0;
+    let saturated = PhaseSpec {
+        load_frac: 0.45,
+        chase_frac: 0.0,
+        regions: vec![MemRegion::stream_mib(64, 1.0)],
+        ..base.clone()
+    };
+    let unsaturated = PhaseSpec { regions: vec![MemRegion::reuse_kib(8, 1.0)], ..base.clone() };
+    let mixed_a = random_spec(&mut rng).0;
+    let mixed_b = random_spec(&mut rng).0;
+    let (lo, hi) = (1.0e9, 3.25e9);
+    let lanes: Vec<LaneSpec> = (W_MIN..=W_MAX)
+        .flat_map(|w| [LaneSpec { ways: w, freq_hz: lo, monitor: true }, LaneSpec::new(w, hi)])
+        .collect();
+    let mut fast = TimingEngine::new();
+    let mut scalar = TimingEngine::new();
+    scalar.disable_dram_fast_path(true);
+    for (label, spec) in [
+        ("saturated", &saturated),
+        ("unsaturated", &unsaturated),
+        ("mixed_a", &mixed_a),
+        ("mixed_b", &mixed_b),
+    ] {
+        let t = spec.generate(12_000, 0xFA57);
+        let ct = classify_warm(&t, &geom, 4_000);
+        let detailed = &t.insts[4_000..];
+        for c in CoreSize::ALL {
+            let cfg = TimingConfig::table1(c, lo, W_MIN);
+            let nmon = W_MAX - W_MIN + 1;
+            let mut fast_mons: Vec<MlpMonitor> = (0..nmon).map(|_| MlpMonitor::table1()).collect();
+            let mut scal_mons: Vec<MlpMonitor> = (0..nmon).map(|_| MlpMonitor::table1()).collect();
+            let a = fast.simulate_lanes(detailed, &ct, &cfg, &lanes, &mut fast_mons);
+            let b = scalar.simulate_lanes(detailed, &ct, &cfg, &lanes, &mut scal_mons);
+            for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_bits_eq(x, y, &format!("{label} {c} lane {k} fast-vs-scalar"));
+            }
+            for (k, (fm, sm)) in fast_mons.iter().zip(&scal_mons).enumerate() {
+                for tc in CoreSize::ALL {
+                    for tw in W_MIN..=W_MAX {
+                        assert_eq!(
+                            fm.lm_count(tc, tw),
+                            sm.lm_count(tc, tw),
+                            "{label} {c} mon {k}: lm({tc},{tw})"
+                        );
+                        assert_eq!(
+                            fm.ov_count(tc, tw),
+                            sm.ov_count(tc, tw),
+                            "{label} {c} mon {k}: ov({tc},{tw})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The narrow (u32-cell) and wide (u64-cell) ring representations are the
 /// same algorithm at different storage widths: forcing the wide path on a
 /// trace that fits narrow cells must change nothing.

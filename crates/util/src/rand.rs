@@ -140,6 +140,13 @@ pub trait RngExt {
 
     /// Uniform integer in the given range.
     fn random_range<T: UniformInt, R: UniformRange<T>>(&mut self, range: R) -> T;
+
+    /// The raw 53-bit integer behind `random::<f64>()`: the float that
+    /// call would return is exactly `draw53() as f64 * 2^-53`, from the
+    /// same single generator step. Tabled samplers ([`Cutoff`],
+    /// [`UniformTable`]) compare this integer against precomputed
+    /// thresholds instead of converting to floating point per draw.
+    fn draw53(&mut self) -> u64;
 }
 
 impl RngExt for StdRng {
@@ -175,6 +182,100 @@ impl RngExt for StdRng {
             let low = m as u64;
             if low >= span || low >= span.wrapping_neg() % span {
                 return T::from_u64(lo + (m >> 64) as u64);
+            }
+        }
+    }
+
+    #[inline]
+    fn draw53(&mut self) -> u64 {
+        self.next_u64() >> 11
+    }
+}
+
+/// Scale factor between the 53-bit draw domain and the unit interval.
+const TWO53: f64 = (1u64 << 53) as f64;
+
+/// A precomputed integer threshold that replays a floating-point
+/// comparison against the unit-interval draw, bit-identically.
+///
+/// `random::<f64>()` returns `x * 2^-53` for a 53-bit draw `x`, so for
+/// any probability `p`: `x·2^-53 < p  ⟺  x < p·2^53`. Multiplying by
+/// `2^53` is a pure exponent shift — exact in f64 — so the right-hand
+/// side is the *real* product and `⌈p·2^53⌉` is an exact integer
+/// threshold: the tabled compare makes the same decision as the chained
+/// `random_bool` for every possible draw. Likewise `x·2^-53 ≤ c  ⟺
+/// x ≤ ⌊c·2^53⌋`. Build once per spec; the per-draw cost drops to one
+/// integer compare with no int→float conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cutoff {
+    /// Exclusive upper bound on the 53-bit draw.
+    t: u64,
+}
+
+impl Cutoff {
+    /// Replays `rng.random::<f64>() < p` (the [`RngExt::random_bool`]
+    /// decision).
+    pub fn lt(p: f64) -> Cutoff {
+        debug_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        Cutoff { t: (p * TWO53).ceil() as u64 }
+    }
+
+    /// Replays `rng.random::<f64>() <= c` (cumulative-weight scans).
+    pub fn le(c: f64) -> Cutoff {
+        debug_assert!(c.is_finite() && c >= 0.0);
+        Cutoff { t: (c * TWO53).floor() as u64 + 1 }
+    }
+
+    /// The decision for an already-taken 53-bit draw (one draw can be
+    /// tested against several cutoffs, e.g. cumulative kind fractions).
+    #[inline]
+    pub fn admits(self, draw53: u64) -> bool {
+        draw53 < self.t
+    }
+
+    /// Draw once and decide — the tabled `random_bool`.
+    #[inline]
+    pub fn sample(self, rng: &mut StdRng) -> bool {
+        rng.draw53() < self.t
+    }
+}
+
+/// A precomputed uniform integer sampler that replays
+/// [`RngExt::random_range`] draw-for-draw.
+///
+/// `random_range` accepts a multiply-shift draw iff
+/// `low >= span || low >= (2^64 - span) % span`; the modulo is `< span`,
+/// so the two tests collapse to `low >= threshold` once the threshold is
+/// precomputed — identical accept/reject decisions (same number of
+/// generator steps) with the division paid once per table instead of
+/// (potentially) per draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformTable {
+    lo: u64,
+    /// `hi - lo + 1`; 0 encodes the full u64 domain.
+    span: u64,
+    /// Lemire rejection threshold `(2^64 - span) % span`.
+    thresh: u64,
+}
+
+impl UniformTable {
+    /// Sampler for the inclusive range `[lo, hi]`.
+    pub fn new(lo: u64, hi: u64) -> UniformTable {
+        assert!(lo <= hi, "empty range");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        let thresh = if span == 0 { 0 } else { span.wrapping_neg() % span };
+        UniformTable { lo, span, thresh }
+    }
+
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.span == 0 {
+            return rng.next_u64();
+        }
+        loop {
+            let m = (rng.next_u64() as u128) * (self.span as u128);
+            if (m as u64) >= self.thresh {
+                return self.lo + (m >> 64) as u64;
             }
         }
     }
@@ -222,6 +323,76 @@ mod tests {
             assert!(y < 5);
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn cutoff_replays_random_bool_exactly() {
+        // Paired generators: the tabled cutoff must make the identical
+        // decision from the identical draw, including at p = 0 and p = 1
+        // and at probabilities that are not exactly representable scaled.
+        let mut probs = vec![0.0, 1.0, 0.5, 0.25, 1e-17, 1.0 - 1e-16, f64::MIN_POSITIVE];
+        let mut prng = StdRng::seed_from_u64(99);
+        probs.extend((0..50).map(|_| prng.random::<f64>()));
+        for p in probs {
+            let c = Cutoff::lt(p);
+            let mut a = StdRng::seed_from_u64(p.to_bits());
+            let mut b = a.clone();
+            for _ in 0..4_000 {
+                assert_eq!(a.random_bool(p), c.sample(&mut b), "p = {p}");
+                assert_eq!(a.s, b.s, "generator state diverged at p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_le_replays_inclusive_compare() {
+        let mut prng = StdRng::seed_from_u64(123);
+        let mut cs = vec![0.0, 1.0, 0.3, 0.999_999_999_999_999_9];
+        cs.extend((0..50).map(|_| prng.random::<f64>()));
+        for cv in cs {
+            let c = Cutoff::le(cv);
+            let mut a = StdRng::seed_from_u64(cv.to_bits() ^ 1);
+            let mut b = a.clone();
+            for _ in 0..4_000 {
+                let u: f64 = a.random();
+                assert_eq!(u <= cv, c.admits(b.draw53()), "c = {cv}, u = {u}");
+            }
+        }
+        // Exhaustive boundary: a cutoff built from a draw's own float must
+        // admit that draw (u <= u) but `lt` must reject it (u < u).
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x = rng.draw53();
+            let u = x as f64 * (1.0 / TWO53);
+            assert!(Cutoff::le(u).admits(x));
+            assert!(!Cutoff::lt(u).admits(x));
+        }
+    }
+
+    #[test]
+    fn uniform_table_replays_random_range_exactly() {
+        let ranges: Vec<(u64, u64)> =
+            vec![(0, 0), (0, 1), (3, 9), (0, 4095), (7, 1 << 40), (0, u64::MAX - 1), (0, u64::MAX)];
+        for (lo, hi) in ranges {
+            let t = UniformTable::new(lo, hi);
+            let mut a = StdRng::seed_from_u64(lo ^ hi.rotate_left(17));
+            let mut b = a.clone();
+            for _ in 0..4_000 {
+                let want = a.random_range(lo..=hi);
+                assert_eq!(want, t.sample(&mut b), "range [{lo}, {hi}]");
+                assert_eq!(a.s, b.s, "generator state diverged on [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn draw53_matches_float_draw() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..1_000 {
+            let u: f64 = a.random();
+            assert_eq!(u, b.draw53() as f64 * (1.0 / TWO53));
+        }
     }
 
     #[test]
