@@ -79,6 +79,8 @@ fn main() {
     let mut worst_build = 0.0f64;
     let mut worst_grid_ratio = f64::INFINITY;
     let mut mcf_dram_ratio = 0.0f64;
+    let mut mcf_spec = None;
+    let mut mcf_build_secs = 0.0f64;
     let mut fused_total = 0.0f64;
     let mut two_pass_total = 0.0f64;
     for name in ["mcf", "libquantum", "povray"] {
@@ -220,6 +222,8 @@ fn main() {
         worst_grid_ratio = worst_grid_ratio.min(ratio);
         if name == "mcf" {
             mcf_dram_ratio = dram_ratio;
+            mcf_spec = Some(spec.clone());
+            mcf_build_secs = m.secs_per_iter;
         }
     }
     println!(
@@ -252,5 +256,40 @@ fn main() {
         worst_build < BUILD_BASELINE_NS_PER_GRID_INST * 50.0,
         "build_phase regressed catastrophically: {worst_build:.1} ns/(grid-point inst) \
          vs recorded {BUILD_BASELINE_NS_PER_GRID_INST:.1}"
+    );
+
+    // ---- PR 9 gate: disabled telemetry costs ≤1% of a build_phase ----
+    // Count the record operations one instrumented build executes (enable
+    // metrics, build once, read `record_ops`), price what those same call
+    // sites cost when telemetry is disabled (one relaxed load + branch
+    // each, measured in a tight loop), and bound the product against the
+    // build time measured above. Both sides are in-process, so the gate
+    // holds on slow runners.
+    static PROBE: triad_telemetry::Counter = triad_telemetry::Counter::new("db_build.probe");
+    triad_telemetry::enable(triad_telemetry::METRICS);
+    triad_telemetry::reset();
+    black_box(build_phase(&mcf_spec.expect("mcf measured above"), &cfg));
+    let ops = triad_telemetry::snapshot().record_ops;
+    triad_telemetry::disable_all();
+    triad_telemetry::reset();
+    let probe_iters = 20_000_000u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..probe_iters {
+        PROBE.add(black_box(1));
+    }
+    let disabled_ns = t0.elapsed().as_secs_f64() / probe_iters as f64 * 1e9;
+    let overhead = ops as f64 * disabled_ns * 1e-9;
+    let frac = overhead / mcf_build_secs;
+    println!(
+        "db_build/telemetry_disabled_overhead     {ops} record ops x {disabled_ns:.2} ns \
+         = {:.6}% of build_phase (gate 1%)",
+        frac * 100.0
+    );
+    assert!(
+        frac <= 0.01,
+        "disabled telemetry must cost ≤1% of build_phase: {ops} record ops x \
+         {disabled_ns:.2} ns disabled call = {:.4}% of {:.1} ms",
+        frac * 100.0,
+        mcf_build_secs * 1e3
     );
 }

@@ -186,4 +186,40 @@ fn main() {
         "steady-state re-plan must be allocation-free: {allocs} allocations in 1000 re-plans"
     );
     println!("rm_replan/allocations                              0  (1000 steady-state re-plans)");
+
+    // ---- PR 9 gate: disabled telemetry costs ≤1% of a re-plan ----
+    // Must run AFTER the zero-alloc gate: enabling telemetry allocates its
+    // registry and thread shard. The rm crate itself is telemetry-free by
+    // design (the dirty-path length is a plain `PlannerState` field the
+    // simulator observes), so the re-plan path executes zero record
+    // operations — this gate verifies that stays true, and prices what the
+    // disabled call sites would cost if any crept in.
+    static PROBE: triad_telemetry::Counter = triad_telemetry::Counter::new("rm_overhead.probe");
+    triad_telemetry::enable(triad_telemetry::METRICS);
+    triad_telemetry::reset();
+    state.set_leaf(3, &plan_b);
+    black_box(state.replan().predicted_energy);
+    let ops = triad_telemetry::snapshot().record_ops;
+    triad_telemetry::disable_all();
+    triad_telemetry::reset();
+    let probe_iters = 20_000_000u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..probe_iters {
+        PROBE.add(black_box(1));
+    }
+    let disabled_ns = t0.elapsed().as_secs_f64() / probe_iters as f64 * 1e9;
+    let overhead = ops as f64 * disabled_ns * 1e-9;
+    let frac = overhead / inc_m.secs_per_iter;
+    println!(
+        "rm_replan/telemetry_disabled_overhead    {ops} record ops x {disabled_ns:.2} ns \
+         = {:.6}% of a re-plan (gate 1%)",
+        frac * 100.0
+    );
+    assert!(
+        frac <= 0.01,
+        "disabled telemetry must cost ≤1% of an incremental re-plan: {ops} record ops x \
+         {disabled_ns:.2} ns = {:.4}% of {:.2} us",
+        frac * 100.0,
+        inc_m.secs_per_iter * 1e6
+    );
 }

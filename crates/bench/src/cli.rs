@@ -15,7 +15,7 @@ use crate::resolve_db;
 use triad_energy::EnergyBackendConfig;
 use triad_phasedb::{DbConfig, DbStore};
 use triad_sim::campaign::{parse_model, parse_rm, ExperimentSpec};
-use triad_sim::workload::WorkloadSpec;
+use triad_workload::WorkloadSpec;
 
 const USAGE: &str = "\
 triad-bench — campaign-driven experiment harness
@@ -53,6 +53,11 @@ OPTIONS:
         --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
         --alpha <X>           custom: QoS slack factor [default: 1.0]
         --no-overheads        custom: do not charge transition/RM overheads
+        --telemetry <PATH>    write a triad-telemetry/v1 metrics report (canonical JSON)
+                              to PATH; the stdout/--json report is unaffected
+        --chrome-trace <PATH> write a Chrome-trace-event JSON (open in Perfetto or
+                              chrome://tracing) of stage spans to PATH
+        --progress            print per-row campaign completion lines to stderr
     -h, --help                print this help
 ";
 
@@ -77,6 +82,9 @@ pub struct Args {
     pub model: String,
     pub alpha: f64,
     pub no_overheads: bool,
+    pub telemetry: Option<String>,
+    pub chrome_trace: Option<String>,
+    pub progress: bool,
 }
 
 impl Default for Args {
@@ -100,6 +108,9 @@ impl Default for Args {
             model: "model3".into(),
             alpha: 1.0,
             no_overheads: false,
+            telemetry: None,
+            chrome_trace: None,
+            progress: false,
         }
     }
 }
@@ -146,6 +157,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.alpha = value(&mut it, a)?.parse().map_err(|e| format!("--alpha: {e}"))?
             }
             "--no-overheads" => args.no_overheads = true,
+            "--telemetry" => args.telemetry = Some(value(&mut it, a)?),
+            "--chrome-trace" => args.chrome_trace = Some(value(&mut it, a)?),
+            "--progress" => args.progress = true,
             "-h" | "--help" => {
                 args.experiment = "help".into();
                 return Ok(args);
@@ -188,11 +202,24 @@ pub fn run(args: &Args) -> Result<(), String> {
     if let Some(cfg) = &energy_cfg {
         cfg.build().map_err(|e| format!("--energy-backend {}: {e}", cfg.label()))?;
     }
+    // Telemetry is a sidecar: recording is off unless an export path asks
+    // for it, and the canonical stdout/--json rows never contain it.
+    let mut telemetry_flags = 0u8;
+    if args.telemetry.is_some() {
+        telemetry_flags |= triad_telemetry::METRICS;
+    }
+    if args.chrome_trace.is_some() {
+        telemetry_flags |= triad_telemetry::METRICS | triad_telemetry::TRACE;
+    }
+    if telemetry_flags != 0 {
+        triad_telemetry::enable(telemetry_flags);
+    }
     let run_opts = RunOptions {
         threads: args.threads,
         compare_serial: args.compare_serial,
         intervals: args.intervals.or(if args.fast { Some(32) } else { None }),
         energy: energy_cfg.clone(),
+        progress: args.progress,
     };
     const EXPERIMENTS: [&str; 13] = [
         "table1",
@@ -389,6 +416,16 @@ pub fn run(args: &Args) -> Result<(), String> {
     if let Some(path) = &args.json {
         std::fs::write(path, doc.to_string_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("report written to {path}");
+    }
+    if let Some(path) = &args.telemetry {
+        let report = triad_telemetry::snapshot().to_json().to_string_pretty();
+        std::fs::write(path, report).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("telemetry metrics written to {path}");
+    }
+    if let Some(path) = &args.chrome_trace {
+        let trace = triad_telemetry::take_chrome_trace().to_string_pretty();
+        std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
     }
     Ok(())
 }

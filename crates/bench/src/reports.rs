@@ -29,13 +29,13 @@ use triad_sim::experiments::{
     averages, comparison_specs, default_model_for, fig2_workloads, fig9_specs, fold_comparisons,
     fold_model_comparisons, scenario_means, RmComparison,
 };
-use triad_sim::workload::{
-    cell_probability, generate_workloads, scenario_of_pair, scenario_probability, ArrivalProcess,
-    Scenario, Stage, Workload, WorkloadSpec,
-};
 use triad_sim::{evaluate_models_with, SimConfig, SimModel, Simulator};
 use triad_trace::Category;
 use triad_util::json::Json;
+use triad_workload::{
+    cell_probability, generate_workloads, scenario_of_pair, scenario_probability, ArrivalProcess,
+    Scenario, Stage, Workload, WorkloadSpec,
+};
 
 /// Execution knobs shared by the campaign-backed experiments.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +49,8 @@ pub struct RunOptions {
     /// Override every spec's energy-accounting backend (`None` leaves the
     /// specs' own selection — the parametric default — in place).
     pub energy: Option<EnergyBackendConfig>,
+    /// Print per-row campaign completion lines to stderr (never stdout).
+    pub progress: bool,
 }
 
 /// The backend an experiment effectively runs under, for JSON echoes.
@@ -69,7 +71,7 @@ pub fn run_campaign(
     if let Some(energy) = &opts.energy {
         specs = specs.into_iter().map(|s| s.energy_backend(energy.clone())).collect();
     }
-    let campaign = Campaign::new(specs).threads(opts.threads);
+    let campaign = Campaign::new(specs).threads(opts.threads).progress(opts.progress);
     let t0 = Instant::now();
     let rows = campaign.run(db);
     let parallel_s = t0.elapsed().as_secs_f64();

@@ -3,8 +3,16 @@
 use crate::record::{cw, AppDbEntry, MonitorStats, PhaseDb, PhaseRecord, NC, NW, W_MAX, W_MIN};
 use triad_arch::{CacheGeometry, CoreSize};
 use triad_cache::{generate_classify, MlpMonitor};
+use triad_telemetry::{Counter, Histogram, SpanName};
 use triad_trace::{AppSpec, Inst, PhaseSpec};
 use triad_uarch::{LaneSpec, TimingConfig, TimingEngine};
+
+static BUILD_APPS_SPAN: SpanName = SpanName::new("phasedb.build_apps");
+static GENERATE_CLASSIFY_SPAN: SpanName = SpanName::new("phasedb.generate_classify");
+static GRID_SPAN: SpanName = SpanName::new("phasedb.grid");
+static PHASES_TOTAL: Counter = Counter::new("phasedb.phases_total");
+static PHASE_REPS: Counter = Counter::new("phasedb.phase_reps");
+static CLASS_SIZE: Histogram = Histogram::new("phasedb.decode_share_class_size");
 
 /// Database build parameters.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +100,7 @@ pub fn build_apps_unshared(apps: &[AppSpec], cfg: &DbConfig) -> PhaseDb {
 }
 
 fn build_apps_impl(apps: &[AppSpec], cfg: &DbConfig, share: bool) -> PhaseDb {
+    let _span = BUILD_APPS_SPAN.enter();
     // Flatten (app, phase) tasks, then collapse tasks with identical
     // generation inputs onto one representative per equivalence class.
     // The class key extends the spec's decode key with every `DbConfig`
@@ -120,6 +129,17 @@ fn build_apps_impl(apps: &[AppSpec], cfg: &DbConfig, share: bool) -> PhaseDb {
                 reps.len() - 1
             };
             class_of.push(cid);
+        }
+    }
+    PHASES_TOTAL.add(class_of.len() as u64);
+    PHASE_REPS.add(reps.len() as u64);
+    if triad_telemetry::metrics_on() {
+        let mut sizes = vec![0u64; reps.len()];
+        for &cid in &class_of {
+            sizes[cid] += 1;
+        }
+        for size in sizes {
+            CLASS_SIZE.observe(size);
         }
     }
     // Each worker thread owns one [`PhaseScratch`] — the timing engine's
@@ -194,8 +214,10 @@ pub fn build_phase_with(
 ) -> PhaseRecord {
     let scaled = spec.scaled(cfg.scale as u64);
     let geom = CacheGeometry::table1_scaled(4, cfg.scale);
+    let front = GENERATE_CLASSIFY_SPAN.enter();
     let ct =
         generate_classify(&scaled, &geom, cfg.warmup, cfg.detail, cfg.seed, &mut scratch.detailed);
+    drop(front);
     let detailed = scratch.detailed.as_slice();
     let n = detailed.len() as f64;
 
@@ -226,6 +248,7 @@ pub fn build_phase_with(
         })
         .collect();
     for c in CoreSize::ALL {
+        let _grid = GRID_SPAN.enter();
         for mon in &mut scratch.mons {
             mon.reset();
         }

@@ -21,8 +21,16 @@ use crate::fingerprint::db_fingerprint;
 use crate::record::PhaseDb;
 use crate::serde::{db_from_json, db_to_json};
 use std::path::{Path, PathBuf};
+use triad_telemetry::{Counter, SpanName};
 use triad_trace::AppSpec;
 use triad_util::json::parse;
+
+static RESOLVE_SPAN: SpanName = SpanName::new("db_store.resolve");
+static BUILD_SPAN: SpanName = SpanName::new("db_store.build");
+static HITS: Counter = Counter::new("db_store.hit");
+static MISSES: Counter = Counter::new("db_store.miss");
+static CORRUPT_REBUILDS: Counter = Counter::new("db_store.corrupt_rebuilt");
+static FORCED_REBUILDS: Counter = Counter::new("db_store.forced_rebuild");
 
 /// How a [`DbStore::resolve`] call obtained its database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +109,7 @@ impl DbStore {
     /// Persisting is best-effort — an unwritable cache directory degrades
     /// to building every time (with a warning), never to failure.
     pub fn resolve(&self, apps: &[AppSpec], cfg: &DbConfig) -> Resolved {
+        let _span = RESOLVE_SPAN.enter();
         let fingerprint = db_fingerprint(apps, cfg);
         let path = self.path_for(&fingerprint);
 
@@ -114,6 +123,7 @@ impl DbStore {
                         .and_then(|doc| db_from_json(&doc, apps))
                     {
                         Ok(db) => {
+                            HITS.incr();
                             return Resolved { db, outcome: StoreOutcome::Hit, fingerprint, path };
                         }
                         Err(e) => {
@@ -133,7 +143,16 @@ impl DbStore {
             }
         }
 
-        let db = build_apps(apps, cfg);
+        match outcome {
+            StoreOutcome::Miss => MISSES.incr(),
+            StoreOutcome::CorruptRebuilt => CORRUPT_REBUILDS.incr(),
+            StoreOutcome::ForcedRebuild => FORCED_REBUILDS.incr(),
+            StoreOutcome::Hit => unreachable!("hits return early"),
+        }
+        let db = {
+            let _build = BUILD_SPAN.enter();
+            build_apps(apps, cfg)
+        };
         if let Err(e) = self.persist(&db, &fingerprint, cfg, &path) {
             eprintln!("phasedb cache: could not persist {}: {e}", path.display());
         }

@@ -164,6 +164,10 @@ pub struct PlannerState {
     settings: Vec<Setting>,
     predicted_energy: f64,
     ops: u64,
+    /// Pair-nodes re-reduced by the latest [`PlannerState::replan`] — the
+    /// dirty-path length (0 on a clean re-plan, O(log n) after one leaf
+    /// change, n−1 from scratch). Observability only; never feeds results.
+    last_reduced: u64,
 }
 
 impl PlannerState {
@@ -250,6 +254,7 @@ impl PlannerState {
             settings: vec![baseline; n_cores],
             predicted_energy: f64::INFINITY,
             ops: 0,
+            last_reduced: 0,
         }
     }
 
@@ -342,10 +347,12 @@ impl PlannerState {
     /// full sweep, exactly as the one-shot formulation performs it.
     pub fn replan(&mut self) -> PlanView<'_> {
         let n_nodes = self.nodes.len();
+        self.last_reduced = 0;
         for i in 0..n_nodes {
             if !self.nodes[i].dirty {
                 continue;
             }
+            self.last_reduced += 1;
             // Post-order: both children live strictly below index `i`.
             let (done, rest) = self.nodes.split_at_mut(i);
             let node = &mut rest[0];
@@ -429,6 +436,12 @@ impl PlannerState {
                 self.assign(n.right, s - wa, out);
             }
         }
+    }
+
+    /// Pair-nodes the latest [`PlannerState::replan`] re-reduced — its
+    /// dirty-path length. Telemetry accessor; does not affect planning.
+    pub fn last_reduced_nodes(&self) -> u64 {
+        self.last_reduced
     }
 
     /// The latest decision computed by [`PlannerState::replan`].

@@ -32,15 +32,23 @@
 //! minutes-scale detailed simulation entirely.
 
 use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
-use crate::workload::{Scenario, Workload, WorkloadSpec, WorkloadTrace};
 use std::collections::HashMap;
 use std::sync::Arc;
 use triad_energy::{EnergyBackend, EnergyBackendConfig};
 use triad_phasedb::{DbConfig, DbStore, PhaseDb};
 use triad_rm::{ModelKind, RmKind};
+use triad_telemetry::{Counter, SpanName};
 use triad_trace::AppSpec;
 use triad_util::json::Json;
 use triad_util::par;
+use triad_workload::{Scenario, Workload, WorkloadSpec, WorkloadTrace};
+
+static TRACE_MATERIALIZE_SPAN: SpanName = SpanName::new("campaign.trace_materialize");
+static IDLE_BASELINE_SPAN: SpanName = SpanName::new("campaign.idle_baseline");
+static SIMULATE_SPAN: SpanName = SpanName::new("campaign.simulate");
+static QOS_EVAL_SPAN: SpanName = SpanName::new("campaign.qos_eval");
+static DB_RESOLVE_SPAN: SpanName = SpanName::new("campaign.db_resolve");
+static ROWS: Counter = Counter::new("campaign.rows");
 
 /// A pure description of one simulator run.
 #[derive(Debug, Clone, PartialEq)]
@@ -314,17 +322,26 @@ pub struct Campaign {
     pub specs: Vec<ExperimentSpec>,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Print per-row completion lines to stderr (row index, spec label,
+    /// elapsed seconds). Stdout — and every row — is unaffected.
+    pub progress: bool,
 }
 
 impl Campaign {
     /// A campaign over the given specs using all available cores.
     pub fn new(specs: Vec<ExperimentSpec>) -> Self {
-        Campaign { specs, threads: 0 }
+        Campaign { specs, threads: 0, progress: false }
     }
 
     /// Override the worker-thread count (1 = serial execution).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enable per-row completion lines on stderr.
+    pub fn progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -362,7 +379,14 @@ impl Campaign {
         // model, α and overheads (the RM is never invoked), so its
         // memoization key is only the workload trace, the horizon and the
         // energy backend the joules are counted under.
-        let traces: Vec<WorkloadTrace> = self.specs.iter().map(|s| s.workload_trace()).collect();
+        let traces: Vec<WorkloadTrace> = self
+            .specs
+            .iter()
+            .map(|s| {
+                let _span = TRACE_MATERIALIZE_SPAN.enter();
+                s.workload_trace()
+            })
+            .collect();
         let keys: Vec<BaselineKey> = self
             .specs
             .iter()
@@ -379,6 +403,7 @@ impl Campaign {
         }
 
         let idle_results = par::par_map(&keyed, self.threads, |(key, trace)| {
+            let _span = IDLE_BASELINE_SPAN.enter();
             let (_, target, energy) = key;
             let mut cfg = SimConfig::idle();
             cfg.target_intervals = *target;
@@ -387,12 +412,15 @@ impl Campaign {
         let baselines: HashMap<&BaselineKey, &SimResult> =
             keyed.iter().map(|(k, _)| *k).zip(&idle_results).collect();
 
+        ROWS.add(self.specs.len() as u64);
+        let started = std::time::Instant::now();
         par::par_map_indexed(&self.specs, self.threads, |i, spec| {
             let idle = baselines[&keys[i]];
             let result = if spec.rm.is_none() {
                 // The spec *is* its own baseline; reuse the memoized run.
                 (*idle).clone()
             } else {
+                let _span = SIMULATE_SPAN.enter();
                 Simulator::with_backend(
                     db,
                     traces[i].n_cores,
@@ -401,12 +429,22 @@ impl Campaign {
                 )
                 .run_trace(&traces[i])
             };
+            let _qos = QOS_EVAL_SPAN.enter();
             let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
             let violation_rate = if result.intervals_checked > 0 {
                 result.qos_violations as f64 / result.intervals_checked as f64
             } else {
                 0.0
             };
+            if self.progress {
+                eprintln!(
+                    "campaign: [{}/{}] {} done ({:.1}s elapsed)",
+                    i + 1,
+                    self.specs.len(),
+                    spec.name,
+                    started.elapsed().as_secs_f64()
+                );
+            }
             CampaignRow {
                 spec: spec.clone(),
                 idle_energy_j: idle.total_energy_j,
@@ -433,7 +471,10 @@ impl Campaign {
     /// Rows are bit-identical to [`Campaign::run`] on a directly built
     /// database: the store round-trip is lossless by construction.
     pub fn run_cached(&self, store: &DbStore, cfg: &DbConfig) -> Vec<CampaignRow> {
-        let resolved = store.resolve(&self.required_apps(), cfg);
+        let resolved = {
+            let _span = DB_RESOLVE_SPAN.enter();
+            store.resolve(&self.required_apps(), cfg)
+        };
         self.run(&resolved.db)
     }
 

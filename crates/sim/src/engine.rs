@@ -35,7 +35,19 @@ use triad_rm::{
     local_optimize_into, DecisionMemo, LocalPlan, ModelKind, Observation, OnlineModel, PlanView,
     PlannerState, RmKind,
 };
+use triad_telemetry::{Counter, Histogram, SpanName};
 use triad_workload::{EventKind, WorkloadTrace};
+
+static RUN_SPAN: SpanName = SpanName::new("sim.run");
+static RUN_TRACE_SPAN: SpanName = SpanName::new("sim.run_trace");
+static RM_INVOCATIONS: Counter = Counter::new("sim.rm_invocations");
+static MEMO_HITS: Counter = Counter::new("sim.memo_hits");
+static MEMO_MISSES: Counter = Counter::new("sim.memo_misses");
+static REPLAN_DIRTY_NODES: Histogram = Histogram::new("sim.replan_dirty_nodes");
+static FINISH_UPDATES: Counter = Counter::new("sim.finish_updates");
+static ARRIVALS: Counter = Counter::new("sim.arrivals");
+static DEPARTURES: Counter = Counter::new("sim.departures");
+static VACANCY_FFWD: Counter = Counter::new("sim.vacancy_fastforwards");
 
 /// Which predictor the RM uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,8 +265,12 @@ impl RunPlanner {
     /// O(log n) path and stores the result.
     fn decide(&mut self) -> PlanView<'_> {
         if self.memo.get(self.sig.as_slice()).is_none() {
+            MEMO_MISSES.incr();
             let view = self.state.replan();
             self.memo.insert(self.sig.clone(), view);
+            REPLAN_DIRTY_NODES.observe(self.state.last_reduced_nodes());
+        } else {
+            MEMO_HITS.incr();
         }
         self.memo.get(self.sig.as_slice()).expect("decision just inserted")
     }
@@ -318,6 +334,7 @@ impl<'a> Simulator<'a> {
 
     /// Run a workload (one application name per core) to completion.
     pub fn run(&self, app_names: &[&str]) -> SimResult {
+        let _span = RUN_SPAN.enter();
         assert_eq!(app_names.len(), self.sys.n_cores, "one application per core");
         let baseline = self.sys.baseline_setting();
         let mut cores: Vec<Core<'a>> =
@@ -330,12 +347,14 @@ impl<'a> Simulator<'a> {
         let mut now = 0.0f64;
         let mut rm_invocations = 0u64;
         let mut rm_ops = 0u64;
+        let mut finish_updates = 0u64;
 
         while cores.iter().any(|c| c.total_insts < target_insts) {
             // Next event: the earliest interval completion.
             for (i, c) in cores.iter().enumerate() {
                 finish.set(i, c.time_to_finish(&self.sys, interval));
             }
+            finish_updates += cores.len() as u64;
             let (j, dt) = finish.min().expect("every core has a finite time to finish");
 
             // Advance every core by dt, accruing energy.
@@ -357,6 +376,9 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        RM_INVOCATIONS.add(rm_invocations);
+        FINISH_UPDATES.add(finish_updates);
+        ARRIVALS.add(app_names.len() as u64);
         let core_mem: f64 = cores.iter().map(|c| c.energy_j).sum();
         let uncore = self.em.uncore_energy(self.sys.n_cores, now);
         let violations: u64 = cores.iter().map(|c| c.violations).sum();
@@ -678,6 +700,7 @@ impl<'a> Simulator<'a> {
         if let Some(names) = trace.static_names() {
             return self.run(&names);
         }
+        let _span = RUN_TRACE_SPAN.enter();
         let horizon = trace.horizon.expect("validate: dynamic traces carry a horizon");
 
         let baseline = self.sys.baseline_setting();
@@ -697,6 +720,8 @@ impl<'a> Simulator<'a> {
         let mut departures = 0u64;
         let mut vacancy_j = 0.0f64;
         let mut ev = 0usize;
+        let mut finish_updates = 0u64;
+        let mut vacancy_ffwds = 0u64;
 
         loop {
             // Fire every event due at the current clock; a batch of events
@@ -743,6 +768,7 @@ impl<'a> Simulator<'a> {
             if cores.iter().all(Option::is_none) {
                 match trace.events.get(ev) {
                     Some(e) if e.at < horizon => {
+                        vacancy_ffwds += 1;
                         completed = completed.max(e.at);
                         continue;
                     }
@@ -758,6 +784,7 @@ impl<'a> Simulator<'a> {
                     None => finish.clear(i),
                 }
             }
+            finish_updates += cores.len() as u64;
             let (j, dt) = finish.min().expect("at least one occupied core");
             debug_assert!(cores[j].is_some(), "the winner must be occupied");
 
@@ -781,6 +808,11 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        RM_INVOCATIONS.add(rm_invocations);
+        FINISH_UPDATES.add(finish_updates);
+        ARRIVALS.add(arrivals);
+        DEPARTURES.add(departures);
+        VACANCY_FFWD.add(vacancy_ffwds);
         for c in cores.into_iter().flatten() {
             fold.absorb(&c);
         }

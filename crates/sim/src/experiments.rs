@@ -7,9 +7,9 @@
 
 use crate::campaign::{Campaign, CampaignRow, ExperimentSpec};
 use crate::engine::SimModel;
-use crate::workload::{generate_workloads, Scenario, Workload};
 use triad_phasedb::PhaseDb;
 use triad_rm::{ModelKind, RmKind};
+use triad_workload::{generate_workloads, Scenario, Workload};
 
 /// Energy savings of the three controllers on one workload.
 #[derive(Debug, Clone)]

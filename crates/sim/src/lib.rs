@@ -15,11 +15,10 @@
 //!   the engine's earliest-finisher selection;
 //! * [`perfect`] — the ground-truth interval model (database lookups of the
 //!   *next* interval), used for Fig. 2 and the "perfect" bars of Fig. 9;
-//! * [`workload`] — re-export of the `triad-workload` crate: Fig. 1's
-//!   scenario taxonomy, the §IV-C generator, and the dynamic
-//!   [`workload::WorkloadSpec`]/[`workload::WorkloadTrace`] machinery the
-//!   simulator replays via [`Simulator::run_trace`] (arrivals, churn,
-//!   vacancy);
+//! * the `triad-workload` crate (its core types re-exported here) —
+//!   Fig. 1's scenario taxonomy, the §IV-C generator, and the dynamic
+//!   [`WorkloadSpec`]/[`WorkloadTrace`] machinery the simulator replays
+//!   via [`Simulator::run_trace`] (arrivals, churn, vacancy);
 //! * [`qos_eval`] — the Fig. 7/8 evaluation: violation probability,
 //!   expected magnitude and distribution over all phases × current ×
 //!   target settings, weighted by SimPoint phase weights;
@@ -34,7 +33,6 @@ pub mod experiments;
 pub mod finish;
 pub mod perfect;
 pub mod qos_eval;
-pub mod workload;
 
 pub use campaign::{Campaign, CampaignRow, ExperimentSpec};
 pub use engine::{SimConfig, SimModel, SimResult, Simulator};
@@ -43,6 +41,6 @@ pub use qos_eval::{
     evaluate_model_on_trace, evaluate_models, evaluate_models_with, trace_app_weights,
     QosEvaluation,
 };
-pub use workload::{
+pub use triad_workload::{
     generate_workloads, scenario_of_pair, Scenario, Workload, WorkloadSpec, WorkloadTrace,
 };

@@ -102,7 +102,13 @@ use crate::model::{TimingConfig, TimingResult};
 use triad_arch::{CoreParams, CoreSize};
 use triad_cache::{is_llc_code, llc_stack_dist_of, service_level_of, ClassifiedTrace, MlpMonitor};
 use triad_mem::{DramLaneState, DramLanes, DramQueue, FP_SHIFT};
+use triad_telemetry::Counter;
 use triad_trace::{Inst, InstKind};
+
+static LANES_TOTAL: Counter = Counter::new("uarch.lanes_total");
+static LANE_REPS: Counter = Counter::new("uarch.lane_reps");
+static FASTPATH_GROUPS: Counter = Counter::new("uarch.fastpath_groups");
+static TAIL_LANES: Counter = Counter::new("uarch.tail_lanes");
 
 /// Stall-attribution classes (the Eq. 1 decomposition) as ring codes.
 const CLS_COMPUTE: u8 = 0;
@@ -796,6 +802,12 @@ impl TimingEngine {
             }
         };
         let tail_reps = &reps_list[nreps - ntail..nreps];
+        // Telemetry (sidecar): how hard lane dedup collapses the grid and
+        // how much of what's left the vectorized fast path covers.
+        LANES_TOTAL.add(nl as u64);
+        LANE_REPS.add(nreps as u64);
+        FASTPATH_GROUPS.add(ngroups as u64);
+        TAIL_LANES.add(ntail as u64);
 
         // (Re)size ring scratch and re-zero the sentinel rows (geometry or
         // the cell layout may have shifted stale cells under them). Stale

@@ -8,8 +8,8 @@
 use triad::phasedb::{build_suite, DbConfig};
 use triad::rm::RmKind;
 use triad::sim::engine::{SimConfig, Simulator};
-use triad::sim::workload::scenario_of_pair;
 use triad::trace::by_name;
+use triad::workload::scenario_of_pair;
 
 fn main() {
     println!("building the full-suite database (27 applications)...");
