@@ -292,4 +292,33 @@ fn main() {
         frac * 100.0,
         mcf_build_secs * 1e3
     );
+
+    // ---- PR 10 gate: disarmed failpoints cost ≤1% of a build_phase ----
+    // With no site configured, `FailPoint::fire()` is one relaxed atomic
+    // load and a branch. Price that disarmed cost in a tight loop and
+    // bound 1000 crossings — two orders of magnitude more than the real
+    // store seam (db_store.load / persist.write / persist.rename: ≤3 per
+    // artifact resolve, amortized over every phase) — against one build.
+    static PROBE_FP: triad_util::failpoint::FailPoint =
+        triad_util::failpoint::FailPoint::new("db_build.probe");
+    triad_util::failpoint::clear_all();
+    let t0 = std::time::Instant::now();
+    for _ in 0..probe_iters {
+        black_box(PROBE_FP.fire());
+    }
+    let disarmed_ns = t0.elapsed().as_secs_f64() / probe_iters as f64 * 1e9;
+    let fp_crossings = 1_000.0;
+    let fp_frac = fp_crossings * disarmed_ns * 1e-9 / mcf_build_secs;
+    println!(
+        "db_build/failpoint_disarmed_overhead     {fp_crossings:.0} crossings x \
+         {disarmed_ns:.2} ns = {:.6}% of build_phase (gate 1%)",
+        fp_frac * 100.0
+    );
+    assert!(
+        fp_frac <= 0.01,
+        "disarmed failpoints must cost ≤1% of build_phase: {fp_crossings:.0} crossings x \
+         {disarmed_ns:.2} ns = {:.4}% of {:.1} ms",
+        fp_frac * 100.0,
+        mcf_build_secs * 1e3
+    );
 }

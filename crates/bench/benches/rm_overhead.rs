@@ -222,4 +222,32 @@ fn main() {
         frac * 100.0,
         inc_m.secs_per_iter * 1e6
     );
+
+    // ---- PR 10 gate: disarmed failpoints cost ≤1% of a re-plan ----
+    // The rm crate carries no failpoint sites; the per-row crash seams
+    // (campaign.row plus the two journal sites) sit above it, so a re-plan
+    // crosses none. Price the disarmed `fire()` cost — one relaxed atomic
+    // load and a branch — and bound what 3 crossings per re-plan would
+    // cost if the seams ever moved down into this path.
+    static PROBE_FP: triad_util::failpoint::FailPoint =
+        triad_util::failpoint::FailPoint::new("rm_overhead.probe");
+    triad_util::failpoint::clear_all();
+    let t0 = std::time::Instant::now();
+    for _ in 0..probe_iters {
+        black_box(PROBE_FP.fire());
+    }
+    let disarmed_ns = t0.elapsed().as_secs_f64() / probe_iters as f64 * 1e9;
+    let fp_frac = 3.0 * disarmed_ns * 1e-9 / inc_m.secs_per_iter;
+    println!(
+        "rm_replan/failpoint_disarmed_overhead    3 crossings x {disarmed_ns:.2} ns \
+         = {:.6}% of a re-plan (gate 1%)",
+        fp_frac * 100.0
+    );
+    assert!(
+        fp_frac <= 0.01,
+        "disarmed failpoints must cost ≤1% of an incremental re-plan: 3 crossings x \
+         {disarmed_ns:.2} ns = {:.4}% of {:.2} us",
+        fp_frac * 100.0,
+        inc_m.secs_per_iter * 1e6
+    );
 }

@@ -53,6 +53,13 @@ OPTIONS:
         --model <M>           custom: perfect | model1 | model2 | model3 [default: model3]
         --alpha <X>           custom: QoS slack factor [default: 1.0]
         --no-overheads        custom: do not charge transition/RM overheads
+        --journal <PATH>      append every completed campaign row to a durable JSON-Lines
+                              journal at PATH (truncated first unless --resume)
+        --resume              resume from an existing --journal: rows already recorded
+                              are loaded back instead of re-simulated
+        --failpoints <SPEC>   arm deterministic fault-injection sites, e.g.
+                              \"db_store.load=once;campaign.row=every(3):panic\"
+                              (also read from $TRIAD_FAILPOINTS; see the README)
         --telemetry <PATH>    write a triad-telemetry/v1 metrics report (canonical JSON)
                               to PATH; the stdout/--json report is unaffected
         --chrome-trace <PATH> write a Chrome-trace-event JSON (open in Perfetto or
@@ -82,6 +89,9 @@ pub struct Args {
     pub model: String,
     pub alpha: f64,
     pub no_overheads: bool,
+    pub journal: Option<String>,
+    pub resume: bool,
+    pub failpoints: Option<String>,
     pub telemetry: Option<String>,
     pub chrome_trace: Option<String>,
     pub progress: bool,
@@ -108,6 +118,9 @@ impl Default for Args {
             model: "model3".into(),
             alpha: 1.0,
             no_overheads: false,
+            journal: None,
+            resume: false,
+            failpoints: None,
             telemetry: None,
             chrome_trace: None,
             progress: false,
@@ -157,6 +170,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.alpha = value(&mut it, a)?.parse().map_err(|e| format!("--alpha: {e}"))?
             }
             "--no-overheads" => args.no_overheads = true,
+            "--journal" => args.journal = Some(value(&mut it, a)?),
+            "--resume" => args.resume = true,
+            "--failpoints" => args.failpoints = Some(value(&mut it, a)?),
             "--telemetry" => args.telemetry = Some(value(&mut it, a)?),
             "--chrome-trace" => args.chrome_trace = Some(value(&mut it, a)?),
             "--progress" => args.progress = true,
@@ -178,6 +194,27 @@ pub fn run(args: &Args) -> Result<(), String> {
     if args.experiment == "help" {
         println!("{USAGE}");
         return Ok(());
+    }
+    // Arm fault-injection sites first: $TRIAD_FAILPOINTS, then the
+    // (higher-precedence, later-configured) --failpoints flag. A bad spec
+    // is a user-input error — clean message, no backtrace.
+    triad_util::failpoint::init_from_env().map_err(|e| format!("TRIAD_FAILPOINTS: {e}"))?;
+    if let Some(spec) = &args.failpoints {
+        triad_util::failpoint::configure_str(spec).map_err(|e| format!("--failpoints: {e}"))?;
+    }
+    if args.resume && args.journal.is_none() {
+        return Err("--resume requires --journal <PATH>".into());
+    }
+    // Create/validate the journal before paying for anything expensive;
+    // without --resume the file is truncated so the run starts fresh.
+    if let Some(path) = &args.journal {
+        let p = std::path::Path::new(path);
+        if let Some(parent) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|e| format!("--journal {path}: {e}"))?;
+        }
+        if !args.resume {
+            std::fs::write(p, "").map_err(|e| format!("--journal {path}: {e}"))?;
+        }
     }
     // Resolve the energy-backend selection (--energy-table is shorthand for
     // --energy-backend table:<path>) and fail fast — before paying for the
@@ -220,6 +257,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         intervals: args.intervals.or(if args.fast { Some(32) } else { None }),
         energy: energy_cfg.clone(),
         progress: args.progress,
+        journal: args.journal.clone(),
     };
     const EXPERIMENTS: [&str; 13] = [
         "table1",
@@ -427,7 +465,36 @@ pub fn run(args: &Args) -> Result<(), String> {
         std::fs::write(path, trace).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
     }
+    // Quarantined rows mean the report is incomplete: every output above
+    // has been written (the surviving rows and the error rows are all in
+    // the JSON), but the run as a whole did not succeed.
+    let quarantined = quarantined_rows(&doc);
+    if quarantined > 0 {
+        return Err(format!(
+            "{quarantined} spec(s) quarantined; the campaign report carries their error rows"
+        ));
+    }
     Ok(())
+}
+
+/// Count quarantined error rows anywhere in a report document (campaign
+/// reports nest at different depths per experiment).
+fn quarantined_rows(doc: &triad_util::json::Json) -> usize {
+    use triad_util::json::Json;
+    match doc {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                let own = match (k.as_str(), v) {
+                    ("quarantined", Json::Arr(rows)) => rows.len(),
+                    _ => 0,
+                };
+                own + quarantined_rows(v)
+            })
+            .sum(),
+        Json::Arr(items) => items.iter().map(quarantined_rows).sum(),
+        _ => 0,
+    }
 }
 
 /// Entry point shared by `triad-bench` and the per-figure wrappers: the

@@ -24,7 +24,7 @@ use triad_energy::{EnergyBackendConfig, EnergyModel, TableBackend};
 use triad_mem::DramParams;
 use triad_phasedb::{characterize_app, PhaseDb};
 use triad_rm::RmKind;
-use triad_sim::campaign::{model_label, Campaign, CampaignRow, ExperimentSpec};
+use triad_sim::campaign::{model_label, Campaign, CampaignRow, ExperimentSpec, QuarantinedRow};
 use triad_sim::experiments::{
     averages, comparison_specs, default_model_for, fig2_workloads, fig9_specs, fold_comparisons,
     fold_model_comparisons, scenario_means, RmComparison,
@@ -51,6 +51,13 @@ pub struct RunOptions {
     pub energy: Option<EnergyBackendConfig>,
     /// Print per-row campaign completion lines to stderr (never stdout).
     pub progress: bool,
+    /// Append every completed row to this durable journal and resume
+    /// (skip re-simulating) any row whose record is already present. The
+    /// CLI truncates the file up front unless `--resume` was given, so
+    /// the campaigns themselves always open in resume mode — an
+    /// experiment that runs several campaigns (fig6 per core count)
+    /// shares one journal, disambiguated by the per-row resume keys.
+    pub journal: Option<String>,
 }
 
 /// The backend an experiment effectively runs under, for JSON echoes.
@@ -58,13 +65,59 @@ fn effective_backend(opts: &RunOptions) -> EnergyBackendConfig {
     opts.energy.clone().unwrap_or_default()
 }
 
-/// Run specs as one campaign, honoring [`RunOptions`]; returns the rows
-/// plus a timing JSON fragment.
+/// What [`run_campaign`] hands back to a presenter: the completed rows,
+/// the quarantined error rows, and a per-input-spec alignment so
+/// presenters that pair rows with their spec/workload lists positionally
+/// stay correct when a spec was quarantined.
+pub struct CampaignRun {
+    /// Completed rows, in spec order (quarantined specs omitted).
+    pub rows: Vec<CampaignRow>,
+    /// One slot per input spec, in order: `None` where quarantined.
+    pub aligned: Vec<Option<CampaignRow>>,
+    /// Structured error rows for specs that did not complete.
+    pub quarantined: Vec<QuarantinedRow>,
+    /// Timing JSON fragment (spec count; wall-clock only under
+    /// `--compare-serial`, keeping reports deterministic).
+    pub timing: Json,
+}
+
+impl CampaignRun {
+    /// True when every spec completed (no quarantined rows).
+    pub fn complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The canonical campaign report: rows plus (only when present) the
+    /// quarantined error rows — byte-identical to the historical
+    /// `Campaign::report` on a fully successful run.
+    pub fn campaign_json(&self) -> Json {
+        Campaign::report_full(&self.rows, &self.quarantined)
+    }
+}
+
+/// Print the quarantine notice and return true when the run lost specs;
+/// presenters whose figure summaries assume one row per spec call this
+/// and skip the summary (the campaign JSON still carries everything).
+fn quarantine_note(run: &CampaignRun) -> bool {
+    if run.complete() {
+        return false;
+    }
+    println!(
+        "{} spec(s) quarantined; figure summary skipped (error rows are in the campaign JSON):",
+        run.quarantined.len()
+    );
+    for q in &run.quarantined {
+        println!("  {}", q.error);
+    }
+    true
+}
+
+/// Run specs as one campaign, honoring [`RunOptions`].
 pub fn run_campaign(
     db: &PhaseDb,
     mut specs: Vec<ExperimentSpec>,
     opts: &RunOptions,
-) -> (Vec<CampaignRow>, Json) {
+) -> CampaignRun {
     if let Some(n) = opts.intervals {
         specs = specs.into_iter().map(|s| s.target_intervals(n)).collect();
     }
@@ -73,32 +126,69 @@ pub fn run_campaign(
     }
     let campaign = Campaign::new(specs).threads(opts.threads).progress(opts.progress);
     let t0 = Instant::now();
-    let rows = campaign.run(db);
+    let outcome = match &opts.journal {
+        None => campaign.try_run(db),
+        // The CLI created/validated the journal up front, so an open/load
+        // failure here is a mid-run environment loss (disk gone); treat it
+        // like any other fatal environment error.
+        Some(path) => campaign
+            .run_journaled(db, std::path::Path::new(path), true)
+            .unwrap_or_else(|e| panic!("{e}")),
+    };
     let parallel_s = t0.elapsed().as_secs_f64();
-    eprintln!("campaign: {} specs in {parallel_s:.2}s", campaign.specs.len());
+    eprintln!(
+        "campaign: {} specs in {parallel_s:.2}s ({} simulated, {} resumed, {} quarantined)",
+        campaign.specs.len(),
+        outcome.simulated,
+        outcome.resumed,
+        outcome.quarantined.len()
+    );
+    for q in &outcome.quarantined {
+        eprintln!("campaign: quarantined {}", q.error);
+    }
+    // Re-align completed rows with the input specs: both `rows` and
+    // `quarantined` are in-order subsequences of the spec list.
+    let mut aligned = Vec::with_capacity(campaign.specs.len());
+    let mut row_it = outcome.rows.iter();
+    let mut quar_it = outcome.quarantined.iter().peekable();
+    for spec in &campaign.specs {
+        if quar_it.peek().is_some_and(|q| q.spec == *spec) {
+            quar_it.next();
+            aligned.push(None);
+        } else {
+            aligned.push(row_it.next().cloned());
+        }
+    }
     let mut timing = Json::obj().set("specs", campaign.specs.len());
     if opts.compare_serial {
-        let t1 = Instant::now();
-        let serial_rows = campaign.clone().threads(1).run(db);
-        let serial_s = t1.elapsed().as_secs_f64();
-        assert_eq!(
-            Campaign::report(&serial_rows).to_string_compact(),
-            Campaign::report(&rows).to_string_compact(),
-            "parallel and serial campaign results must be identical"
-        );
-        println!(
-            "\ncampaign timing: {} specs, parallel {:.2}s vs serial {:.2}s ({:.2}x speedup)",
-            campaign.specs.len(),
-            parallel_s,
-            serial_s,
-            serial_s / parallel_s
-        );
-        timing = timing
-            .set("parallel_s", parallel_s)
-            .set("serial_s", serial_s)
-            .set("speedup", serial_s / parallel_s);
+        if outcome.quarantined.is_empty() {
+            let t1 = Instant::now();
+            let serial_rows = campaign.clone().threads(1).run(db);
+            let serial_s = t1.elapsed().as_secs_f64();
+            assert_eq!(
+                Campaign::report(&serial_rows).to_string_compact(),
+                Campaign::report(&outcome.rows).to_string_compact(),
+                "parallel and serial campaign results must be identical"
+            );
+            println!(
+                "\ncampaign timing: {} specs, parallel {:.2}s vs serial {:.2}s ({:.2}x speedup)",
+                campaign.specs.len(),
+                parallel_s,
+                serial_s,
+                serial_s / parallel_s
+            );
+            timing = timing
+                .set("parallel_s", parallel_s)
+                .set("serial_s", serial_s)
+                .set("speedup", serial_s / parallel_s);
+        } else {
+            eprintln!(
+                "campaign: skipping the serial comparison ({} spec(s) quarantined)",
+                outcome.quarantined.len()
+            );
+        }
     }
-    (rows, timing)
+    CampaignRun { rows: outcome.rows, aligned, quarantined: outcome.quarantined, timing }
 }
 
 fn comparison_table(title: &str, rows: &[RmComparison]) {
@@ -324,19 +414,24 @@ pub fn fig2(db: &PhaseDb, opts: &RunOptions) -> Json {
     let workloads = fig2_workloads();
     let specs: Vec<ExperimentSpec> =
         workloads.iter().flat_map(|wl| comparison_specs(wl, true, false, 0)).collect();
-    let (rows, timing) = run_campaign(db, specs, opts);
-    let comparisons = fold_comparisons(&workloads, &rows);
-    comparison_table(
-        "FIG. 2: two-core scenario savings (perfect models, no overheads)",
-        &comparisons,
-    );
-    println!("\npaper shape: S1 both effective with RM3 well ahead (~70% higher);");
-    println!("S2 comparable; S3 only RM3; S4 all ineffective");
+    let run = run_campaign(db, specs, opts);
+    let comparisons_json = if quarantine_note(&run) {
+        Json::Arr(Vec::new())
+    } else {
+        let comparisons = fold_comparisons(&workloads, &run.rows);
+        comparison_table(
+            "FIG. 2: two-core scenario savings (perfect models, no overheads)",
+            &comparisons,
+        );
+        println!("\npaper shape: S1 both effective with RM3 well ahead (~70% higher);");
+        println!("S2 comparable; S3 only RM3; S4 all ineffective");
+        comparison_json(&comparisons)
+    };
     Json::obj()
         .set("experiment", "fig2")
-        .set("comparisons", comparison_json(&comparisons))
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("comparisons", comparisons_json)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// Fig. 6: six workloads per scenario at each core count, realistic models
@@ -347,39 +442,48 @@ pub fn fig6(db: &PhaseDb, core_counts: &[usize], seed: u64, opts: &RunOptions) -
         let workloads = generate_workloads(n_cores, 6, seed);
         let specs: Vec<ExperimentSpec> =
             workloads.iter().flat_map(|wl| comparison_specs(wl, false, true, seed)).collect();
-        let (rows, timing) = run_campaign(db, specs, opts);
-        let comparisons = fold_comparisons(&workloads, &rows);
-        comparison_table(
-            &format!("FIG. 6 ({n_cores}-core): energy savings per workload"),
-            &comparisons,
-        );
-        println!("\nper-scenario means:");
-        for (s, m) in scenario_means(&comparisons) {
-            println!("  {:<11} RM1={} RM2={} RM3={}", s.label(), pct(m[0]), pct(m[1]), pct(m[2]));
-        }
-        let (w, p) = averages(&comparisons);
-        println!(
-            "weighted avg (47/22.1/22.1/8.8): RM1={} RM2={} RM3={}",
-            pct(w[0]),
-            pct(w[1]),
-            pct(w[2])
-        );
-        println!(
-            "plain avg:                       RM1={} RM2={} RM3={}",
-            pct(p[0]),
-            pct(p[1]),
-            pct(p[2])
-        );
-        let best = comparisons.iter().map(|r| r.savings[2]).fold(f64::NEG_INFINITY, f64::max);
-        println!("max RM3 savings: {} (paper: up to 17.6% on 4-core)\n", pct(best));
-        out = out.set(
-            &format!("{n_cores}_core"),
+        let run = run_campaign(db, specs, opts);
+        let core_json = if quarantine_note(&run) {
+            Json::obj().set("comparisons", Json::Arr(Vec::new()))
+        } else {
+            let comparisons = fold_comparisons(&workloads, &run.rows);
+            comparison_table(
+                &format!("FIG. 6 ({n_cores}-core): energy savings per workload"),
+                &comparisons,
+            );
+            println!("\nper-scenario means:");
+            for (s, m) in scenario_means(&comparisons) {
+                println!(
+                    "  {:<11} RM1={} RM2={} RM3={}",
+                    s.label(),
+                    pct(m[0]),
+                    pct(m[1]),
+                    pct(m[2])
+                );
+            }
+            let (w, p) = averages(&comparisons);
+            println!(
+                "weighted avg (47/22.1/22.1/8.8): RM1={} RM2={} RM3={}",
+                pct(w[0]),
+                pct(w[1]),
+                pct(w[2])
+            );
+            println!(
+                "plain avg:                       RM1={} RM2={} RM3={}",
+                pct(p[0]),
+                pct(p[1]),
+                pct(p[2])
+            );
+            let best = comparisons.iter().map(|r| r.savings[2]).fold(f64::NEG_INFINITY, f64::max);
+            println!("max RM3 savings: {} (paper: up to 17.6% on 4-core)\n", pct(best));
             Json::obj()
                 .set("comparisons", comparison_json(&comparisons))
                 .set("weighted_avg", w)
                 .set("plain_avg", p)
-                .set("campaign", Campaign::report(&rows))
-                .set("timing", timing),
+        };
+        out = out.set(
+            &format!("{n_cores}_core"),
+            core_json.set("campaign", run.campaign_json()).set("timing", run.timing),
         );
     }
     out
@@ -479,56 +583,57 @@ pub fn fig9(db: &PhaseDb, core_counts: &[usize], seed: u64, opts: &RunOptions) -
     let mut out = Json::obj().set("experiment", "fig9").set("seed", seed);
     for &n_cores in core_counts {
         let workloads = generate_workloads(n_cores, 6, seed);
-        let (rows, timing) = run_campaign(db, fig9_specs(&workloads, seed), opts);
-        let comparisons = fold_model_comparisons(&workloads, &rows);
-        println!("FIG. 9 ({n_cores}-core): RM3 savings by performance model");
-        println!("==========================================================");
-        println!(
-            "{:<12} {:<12} {:>8} {:>8} {:>8} {:>8}",
-            "workload", "scenario", "Model1", "Model2", "Model3", "perfect"
-        );
-        let mut avg = [0.0f64; 4];
-        for r in &comparisons {
+        let run = run_campaign(db, fig9_specs(&workloads, seed), opts);
+        let core_json = if quarantine_note(&run) {
+            Json::obj().set("comparisons", Json::Arr(Vec::new()))
+        } else {
+            let comparisons = fold_model_comparisons(&workloads, &run.rows);
+            println!("FIG. 9 ({n_cores}-core): RM3 savings by performance model");
+            println!("==========================================================");
             println!(
                 "{:<12} {:<12} {:>8} {:>8} {:>8} {:>8}",
-                r.workload.name,
-                r.workload.scenario.label(),
-                pct(r.savings[0]),
-                pct(r.savings[1]),
-                pct(r.savings[2]),
-                pct(r.savings[3])
+                "workload", "scenario", "Model1", "Model2", "Model3", "perfect"
             );
-            for (slot, s) in avg.iter_mut().zip(&r.savings) {
-                *slot += s / comparisons.len() as f64;
+            let mut avg = [0.0f64; 4];
+            for r in &comparisons {
+                println!(
+                    "{:<12} {:<12} {:>8} {:>8} {:>8} {:>8}",
+                    r.workload.name,
+                    r.workload.scenario.label(),
+                    pct(r.savings[0]),
+                    pct(r.savings[1]),
+                    pct(r.savings[2]),
+                    pct(r.savings[3])
+                );
+                for (slot, s) in avg.iter_mut().zip(&r.savings) {
+                    *slot += s / comparisons.len() as f64;
+                }
             }
-        }
-        println!(
-            "{:<25} {:>8} {:>8} {:>8} {:>8}",
-            "average",
-            pct(avg[0]),
-            pct(avg[1]),
-            pct(avg[2]),
-            pct(avg[3])
-        );
-        println!("paper shape: Model3 lands closest to the perfect bound\n");
-        let rows_json = Json::Arr(
-            comparisons
-                .iter()
-                .map(|r| {
-                    Json::obj()
-                        .set("workload", r.workload.name.clone())
-                        .set("scenario", r.workload.scenario.label())
-                        .set("savings", r.savings.to_vec())
-                })
-                .collect(),
-        );
+            println!(
+                "{:<25} {:>8} {:>8} {:>8} {:>8}",
+                "average",
+                pct(avg[0]),
+                pct(avg[1]),
+                pct(avg[2]),
+                pct(avg[3])
+            );
+            println!("paper shape: Model3 lands closest to the perfect bound\n");
+            let rows_json = Json::Arr(
+                comparisons
+                    .iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("workload", r.workload.name.clone())
+                            .set("scenario", r.workload.scenario.label())
+                            .set("savings", r.savings.to_vec())
+                    })
+                    .collect(),
+            );
+            Json::obj().set("comparisons", rows_json).set("average", avg.to_vec())
+        };
         out = out.set(
             &format!("{n_cores}_core"),
-            Json::obj()
-                .set("comparisons", rows_json)
-                .set("average", avg.to_vec())
-                .set("campaign", Campaign::report(&rows))
-                .set("timing", timing),
+            core_json.set("campaign", run.campaign_json()).set("timing", run.timing),
         );
     }
     out
@@ -594,32 +699,35 @@ pub fn overheads(db: &PhaseDb, seed: u64, opts: &RunOptions) -> Json {
 
 /// An ad-hoc campaign over one user-described spec.
 pub fn custom(db: &PhaseDb, spec: ExperimentSpec, opts: &RunOptions) -> Json {
-    let (rows, timing) = run_campaign(db, vec![spec], opts);
-    let row = &rows[0];
-    println!("CUSTOM EXPERIMENT: {}", row.spec.name);
-    println!("==================================");
-    println!("apps:            {}", row.spec.apps.join(","));
-    println!("controller:      {}", row.spec.rm.map(|r| r.label()).unwrap_or("idle"));
-    println!("model:           {}", model_label(row.spec.model));
-    println!("energy backend:  {}", row.spec.energy.label());
-    println!("alpha:           {}", row.spec.alpha);
-    println!("overheads:       {}", row.spec.overheads);
-    println!(
-        "energy:          {:.2} J (idle reference {:.2} J)",
-        row.result.total_energy_j, row.idle_energy_j
-    );
-    println!("savings:         {}", pct(row.savings));
-    println!(
-        "QoS violations:  {}/{} ({})",
-        row.result.qos_violations,
-        row.result.intervals_checked,
-        pct(row.violation_rate)
-    );
-    println!("RM invocations:  {}", row.result.rm_invocations);
+    let run = run_campaign(db, vec![spec], opts);
+    if let Some(row) = run.rows.first() {
+        println!("CUSTOM EXPERIMENT: {}", row.spec.name);
+        println!("==================================");
+        println!("apps:            {}", row.spec.apps.join(","));
+        println!("controller:      {}", row.spec.rm.map(|r| r.label()).unwrap_or("idle"));
+        println!("model:           {}", model_label(row.spec.model));
+        println!("energy backend:  {}", row.spec.energy.label());
+        println!("alpha:           {}", row.spec.alpha);
+        println!("overheads:       {}", row.spec.overheads);
+        println!(
+            "energy:          {:.2} J (idle reference {:.2} J)",
+            row.result.total_energy_j, row.idle_energy_j
+        );
+        println!("savings:         {}", pct(row.savings));
+        println!(
+            "QoS violations:  {}/{} ({})",
+            row.result.qos_violations,
+            row.result.intervals_checked,
+            pct(row.violation_rate)
+        );
+        println!("RM invocations:  {}", row.result.rm_invocations);
+    } else {
+        quarantine_note(&run);
+    }
     Json::obj()
         .set("experiment", "custom")
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// Relative path the sweep writes its sampled reference table to when no
@@ -674,9 +782,12 @@ pub fn energy_sweep(
                 .energy_backend(b.clone())
         })
         .collect();
-    let (rows, timing) = run_campaign(db, specs, opts);
+    let run = run_campaign(db, specs, opts);
 
-    let base_savings = rows[0].savings;
+    // The parametric leg anchors the deltas; if it was quarantined the
+    // deltas degrade to null (NaN) while the absolute numbers survive.
+    let base_savings =
+        run.aligned.first().and_then(|s| s.as_ref()).map_or(f64::NAN, |row| row.savings);
     println!("ENERGY SWEEP: RM3 savings per energy backend ({} cores)", apps.len());
     println!("=============================================================");
     println!(
@@ -684,7 +795,11 @@ pub fn energy_sweep(
         "backend", "energy J", "idle J", "savings", "Δ vs mcpat"
     );
     let mut summary = Vec::new();
-    for (b, row) in backends.iter().zip(&rows) {
+    for (b, slot) in backends.iter().zip(&run.aligned) {
+        let Some(row) = slot else {
+            println!("{:<44} {:>10}", b.label(), "quarantined");
+            continue;
+        };
         let delta = row.savings - base_savings;
         println!(
             "{:<44} {:>10.3} {:>10.3} {:>8} {:>+7.2}pp",
@@ -706,13 +821,14 @@ pub fn energy_sweep(
     }
     println!("\nabsolute joules shift with the backend; the savings *ratio* is the");
     println!("sensitivity headline (leakier nodes reward down-volting less)");
+    quarantine_note(&run);
     Json::obj()
         .set("experiment", "energy-sweep")
         .set("apps", apps.iter().map(|s| s.to_string()).collect::<Vec<_>>())
         .set("seed", seed)
         .set("backends", Json::Arr(summary))
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// One dynamic-workload campaign row rendered for the workload reports.
@@ -763,9 +879,18 @@ pub fn workload_report(
     workload: &WorkloadSpec,
     opts: &RunOptions,
 ) -> Json {
-    let (rows, timing) = run_campaign(db, vec![spec], opts);
-    assert_workload_rows_finite(&rows);
-    let row = &rows[0];
+    let run = run_campaign(db, vec![spec], opts);
+    assert_workload_rows_finite(&run.rows);
+    let Some(row) = run.rows.first() else {
+        quarantine_note(&run);
+        return Json::obj()
+            .set("experiment", "workload")
+            .set("workload", workload.to_json())
+            .set("row", Json::Null)
+            .set("trace_qos", Json::Null)
+            .set("campaign", run.campaign_json())
+            .set("timing", run.timing);
+    };
     println!("WORKLOAD EXPERIMENT: {}", row.spec.name);
     println!("==================================");
     println!("workload:        {} ({})", workload.label(), row.spec.workload_fingerprint());
@@ -819,8 +944,8 @@ pub fn workload_report(
         .set("workload", workload.to_json())
         .set("row", workload_row_json(workload.label(), row.spec.scenario, row))
         .set("trace_qos", trace_qos)
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// The dynamic-workload specs the `workload-sweep` preset evaluates: every
@@ -912,8 +1037,8 @@ pub fn workload_sweep(db: &PhaseDb, n_cores: usize, seed: u64, opts: &RunOptions
                 .target_intervals(per_core as usize)
         })
         .collect();
-    let (rows, timing) = run_campaign(db, specs, opts);
-    assert_workload_rows_finite(&rows);
+    let run = run_campaign(db, specs, opts);
+    assert_workload_rows_finite(&run.rows);
 
     println!("WORKLOAD SWEEP ({n_cores}-core): RM3 savings per dynamic workload");
     println!("=================================================================");
@@ -922,7 +1047,16 @@ pub fn workload_sweep(db: &PhaseDb, n_cores: usize, seed: u64, opts: &RunOptions
         "kind", "scenario", "savings", "viol.rate", "arrivals", "vacancy J"
     );
     let mut row_json = Vec::new();
-    for ((scenario, wl), row) in workloads.iter().zip(&rows) {
+    for ((scenario, wl), slot) in workloads.iter().zip(&run.aligned) {
+        let Some(row) = slot else {
+            println!(
+                "{:<10} {:<12} {:>8}",
+                wl.label(),
+                scenario.map(|s| s.label()).unwrap_or("census"),
+                "quarantined"
+            );
+            continue;
+        };
         println!(
             "{:<10} {:<12} {:>8} {:>9} {:>9} {:>9.3}  {}",
             wl.label(),
@@ -940,9 +1074,9 @@ pub fn workload_sweep(db: &PhaseDb, n_cores: usize, seed: u64, opts: &RunOptions
     for s in Scenario::ALL {
         let in_s: Vec<&CampaignRow> = workloads
             .iter()
-            .zip(&rows)
+            .zip(&run.aligned)
             .filter(|((sc, _), _)| *sc == Some(s))
-            .map(|(_, r)| r)
+            .filter_map(|(_, slot)| slot.as_ref())
             .collect();
         if in_s.is_empty() {
             continue;
@@ -962,14 +1096,15 @@ pub fn workload_sweep(db: &PhaseDb, n_cores: usize, seed: u64, opts: &RunOptions
                 .set("mean_violation_rate", mean_viol),
         );
     }
+    quarantine_note(&run);
     Json::obj()
         .set("experiment", "workload-sweep")
         .set("cores", n_cores)
         .set("seed", seed)
         .set("rows", Json::Arr(row_json))
         .set("scenario_means", Json::Arr(scenario_json))
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// `churn`: per-core multiprogramming with mid-run app replacement. With
@@ -1025,13 +1160,17 @@ pub fn churn(db: &PhaseDb, n_cores: usize, seed: u64, pool: &[String], opts: &Ru
                 .target_intervals(per_core as usize)
         })
         .collect();
-    let (rows, timing) = run_campaign(db, specs, opts);
-    assert_workload_rows_finite(&rows);
-    let total_arrivals: u64 = rows.iter().map(|r| r.result.arrivals).sum();
-    assert!(total_arrivals > 0, "churn campaign observed no arrivals");
+    let run = run_campaign(db, specs, opts);
+    assert_workload_rows_finite(&run.rows);
+    let total_arrivals: u64 = run.rows.iter().map(|r| r.result.arrivals).sum();
     let replacements: u64 =
-        rows.iter().map(|r| r.result.arrivals.saturating_sub(n_cores as u64)).sum();
-    assert!(replacements > 0, "churn campaign replaced no application mid-run");
+        run.rows.iter().map(|r| r.result.arrivals.saturating_sub(n_cores as u64)).sum();
+    // The churn sanity floor only holds for complete runs; under fault
+    // injection a quarantined row legitimately removes its arrivals.
+    if run.complete() {
+        assert!(total_arrivals > 0, "churn campaign observed no arrivals");
+        assert!(replacements > 0, "churn campaign replaced no application mid-run");
+    }
 
     println!("CHURN ({n_cores}-core, period ~{period} intervals, horizon {horizon})");
     println!("==============================================================");
@@ -1040,7 +1179,11 @@ pub fn churn(db: &PhaseDb, n_cores: usize, seed: u64, pool: &[String], opts: &Ru
         "workload", "savings", "viol.rate", "arrivals", "RMs"
     );
     let mut row_json = Vec::new();
-    for ((scenario, wl), row) in workloads.iter().zip(&rows) {
+    for ((scenario, wl), slot) in workloads.iter().zip(&run.aligned) {
+        let Some(row) = slot else {
+            println!("{:<22} {:>8}", wl.label(), "quarantined");
+            continue;
+        };
         println!(
             "{:<22} {:>8} {:>9} {:>9} {:>6}  {}",
             row.spec.name,
@@ -1054,6 +1197,7 @@ pub fn churn(db: &PhaseDb, n_cores: usize, seed: u64, pool: &[String], opts: &Ru
     }
     println!("\n{total_arrivals} arrivals ({replacements} mid-run replacements); every RM");
     println!("re-plan on a churn event cold-restarts the core's phase position");
+    quarantine_note(&run);
     Json::obj()
         .set("experiment", "churn")
         .set("cores", n_cores)
@@ -1061,8 +1205,8 @@ pub fn churn(db: &PhaseDb, n_cores: usize, seed: u64, pool: &[String], opts: &Ru
         .set("arrivals", total_arrivals)
         .set("replacements", replacements)
         .set("rows", Json::Arr(row_json))
-        .set("campaign", Campaign::report(&rows))
-        .set("timing", timing)
+        .set("campaign", run.campaign_json())
+        .set("timing", run.timing)
 }
 
 /// Cross-check helper used by the wrappers: workloads for a comparison

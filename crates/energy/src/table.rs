@@ -21,10 +21,16 @@
 
 use crate::{EnergyBackend, EnergyModel, REF_FREQ_HZ};
 use triad_arch::{CoreSize, VfPoint};
+use triad_util::failpoint::FailPoint;
 use triad_util::json::{parse, Json};
 
 /// Schema tag required of every persisted table file.
 pub const TABLE_SCHEMA: &str = "triad-energy-table/v1";
+
+/// Injected-fault site at the top of [`TableBackend::load`] — exercises
+/// the campaign's energy-backend quarantine path without deleting table
+/// files.
+pub static TABLE_LOAD_FP: FailPoint = FailPoint::new("energy.table_load");
 
 /// One measured operating point of one core size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,6 +234,7 @@ impl TableBackend {
     /// Load a table from a canonical JSON file; the path becomes the
     /// backend's report identity.
     pub fn load(path: &str) -> Result<TableBackend, String> {
+        TABLE_LOAD_FP.check()?;
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("reading energy table {path}: {e}"))?;
         let doc = parse(&text).map_err(|e| format!("parsing energy table {path}: {e}"))?;

@@ -23,6 +23,7 @@ use crate::serde::{db_from_json, db_to_json};
 use std::path::{Path, PathBuf};
 use triad_telemetry::{Counter, SpanName};
 use triad_trace::AppSpec;
+use triad_util::failpoint::FailPoint;
 use triad_util::json::parse;
 
 static RESOLVE_SPAN: SpanName = SpanName::new("db_store.resolve");
@@ -31,6 +32,23 @@ static HITS: Counter = Counter::new("db_store.hit");
 static MISSES: Counter = Counter::new("db_store.miss");
 static CORRUPT_REBUILDS: Counter = Counter::new("db_store.corrupt_rebuilt");
 static FORCED_REBUILDS: Counter = Counter::new("db_store.forced_rebuild");
+static PERSIST_RETRIES: Counter = Counter::new("db_store.persist_retry");
+
+/// Injected-fault site on the artifact read (a load error degrades to a
+/// rebuild, never a failure).
+pub static LOAD_FP: FailPoint = FailPoint::new("db_store.load");
+/// Injected-fault site on the tempfile write half of [`DbStore::resolve`]'s
+/// persist.
+pub static PERSIST_WRITE_FP: FailPoint = FailPoint::new("db_store.persist.write");
+/// Injected-fault site **between** the tempfile write and the `rename` —
+/// the crash seam atomic persistence exists for. `error` faults exercise
+/// the bounded-retry path; `abort` kills the process with the tempfile on
+/// disk and the published artifact untouched.
+pub static PERSIST_RENAME_FP: FailPoint = FailPoint::new("db_store.persist.rename");
+
+/// Transient-persist retry budget: attempts (first try included) with
+/// deterministic 1/2 ms backoff, mirroring the journal's discipline.
+const PERSIST_ATTEMPTS: u32 = 3;
 
 /// How a [`DbStore::resolve`] call obtained its database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +134,7 @@ impl DbStore {
         let mut outcome =
             if self.force_rebuild { StoreOutcome::ForcedRebuild } else { StoreOutcome::Miss };
         if !self.force_rebuild {
-            match std::fs::read_to_string(&path) {
+            match LOAD_FP.check_io().and_then(|()| std::fs::read_to_string(&path)) {
                 Ok(text) => {
                     match parse(&text)
                         .map_err(|e| e.to_string())
@@ -171,6 +189,12 @@ impl DbStore {
     /// process-global counter: concurrent resolves of the same key from
     /// parallel threads (test runners do this) must not share a tempfile,
     /// or one writer's truncation could tear the other's in-flight bytes.
+    ///
+    /// Transient write/rename failures get the same bounded deterministic
+    /// retry as journal appends; a crash anywhere in the sequence leaves
+    /// the published artifact either absent or complete, never torn
+    /// (readers rebuild on absence, and leftover tempfiles are inert under
+    /// fresh writer-unique names).
     fn persist(
         &self,
         db: &PhaseDb,
@@ -184,11 +208,24 @@ impl DbStore {
         let seq = WRITER_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!("{fingerprint}.tmp.{}.{seq}", std::process::id()));
         let text = db_to_json(db, fingerprint, cfg).to_string_compact();
-        let result = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
-        if result.is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        let mut last_err = None;
+        for attempt in 0..PERSIST_ATTEMPTS {
+            if attempt > 0 {
+                PERSIST_RETRIES.incr();
+                std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
+            }
+            let result = PERSIST_WRITE_FP
+                .check_io()
+                .and_then(|()| std::fs::write(&tmp, &text))
+                .and_then(|()| PERSIST_RENAME_FP.check_io())
+                .and_then(|()| std::fs::rename(&tmp, path));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => last_err = Some(e),
+            }
         }
-        result
+        let _ = std::fs::remove_file(&tmp);
+        Err(last_err.expect("retry loop ran"))
     }
 }
 

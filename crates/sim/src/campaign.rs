@@ -32,13 +32,18 @@
 //! minutes-scale detailed simulation entirely.
 
 use crate::engine::{max_suite_intervals, SimConfig, SimModel, SimResult, Simulator};
+use crate::journal::{self, LoadedJournal, RowJournal};
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::Arc;
 use triad_energy::{EnergyBackend, EnergyBackendConfig};
 use triad_phasedb::{DbConfig, DbStore, PhaseDb};
 use triad_rm::{ModelKind, RmKind};
 use triad_telemetry::{Counter, SpanName};
 use triad_trace::AppSpec;
+use triad_util::failpoint::FailPoint;
+use triad_util::hash::Fingerprint;
 use triad_util::json::Json;
 use triad_util::par;
 use triad_workload::{Scenario, Workload, WorkloadSpec, WorkloadTrace};
@@ -49,6 +54,15 @@ static SIMULATE_SPAN: SpanName = SpanName::new("campaign.simulate");
 static QOS_EVAL_SPAN: SpanName = SpanName::new("campaign.qos_eval");
 static DB_RESOLVE_SPAN: SpanName = SpanName::new("campaign.db_resolve");
 static ROWS: Counter = Counter::new("campaign.rows");
+static ROWS_SIMULATED: Counter = Counter::new("campaign.rows_simulated");
+static ROWS_RESUMED: Counter = Counter::new("campaign.rows_resumed");
+static ROWS_QUARANTINED: Counter = Counter::new("campaign.rows_quarantined");
+static RESUME_REJECTED: Counter = Counter::new("campaign.resume_rejected");
+
+/// Injected-fault site evaluated at the top of every per-row simulation
+/// (inside the row's `catch_unwind` quarantine), e.g.
+/// `TRIAD_FAILPOINTS="campaign.row=once:panic"`.
+pub static ROW_FP: FailPoint = FailPoint::new("campaign.row");
 
 /// A pure description of one simulator run.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,23 +207,32 @@ impl ExperimentSpec {
     }
 
     /// The trace this spec replays: the materialized workload program, or
-    /// the static trace implied by `apps`.
-    ///
-    /// Panics on an unmaterializable workload — [`ExperimentSpec::for_workload_spec`]
-    /// and the CLI validate specs before campaigns start.
-    pub fn workload_trace(&self) -> WorkloadTrace {
+    /// the static trace implied by `apps`. Fails (instead of panicking)
+    /// on an unmaterializable workload — campaigns quarantine such specs
+    /// as [`CampaignError::Workload`] rows.
+    pub fn try_workload_trace(&self) -> Result<WorkloadTrace, String> {
         match &self.workload {
-            Some(w) => w.materialize().unwrap_or_else(|e| {
-                panic!("spec {}: workload does not materialize: {e}", self.name)
-            }),
-            None => WorkloadTrace::steady(&self.apps),
+            Some(w) => w.materialize(),
+            None => Ok(WorkloadTrace::steady(&self.apps)),
         }
     }
 
+    /// [`ExperimentSpec::try_workload_trace`], panicking on failure — for
+    /// call sites that validated the spec up front.
+    pub fn workload_trace(&self) -> WorkloadTrace {
+        self.try_workload_trace()
+            .unwrap_or_else(|e| panic!("spec {}: workload does not materialize: {e}", self.name))
+    }
+
     /// Fingerprint of the materialized trace — the workload identity
-    /// recorded in every campaign row.
+    /// recorded in every campaign row. An unmaterializable workload gets
+    /// the sentinel `"unmaterializable"` so quarantined error rows still
+    /// serialize.
     pub fn workload_fingerprint(&self) -> String {
-        self.workload_trace().fingerprint()
+        match self.try_workload_trace() {
+            Ok(t) => t.fingerprint(),
+            Err(_) => "unmaterializable".into(),
+        }
     }
 
     fn sim_config(&self) -> SimConfig {
@@ -223,6 +246,13 @@ impl ExperimentSpec {
 
     /// Canonical JSON form.
     pub fn to_json(&self) -> Json {
+        self.to_json_with_fingerprint(&self.workload_fingerprint())
+    }
+
+    /// [`ExperimentSpec::to_json`] against an already-materialized trace
+    /// fingerprint, so key computation and report serialization do not
+    /// re-materialize the workload.
+    fn to_json_with_fingerprint(&self, workload_fp: &str) -> Json {
         Json::obj()
             .set("name", self.name.clone())
             .set("apps", self.apps.clone())
@@ -237,12 +267,145 @@ impl ExperimentSpec {
             .set("rm", self.rm.map(|r| r.label()).unwrap_or("idle"))
             .set("model", model_label(self.model))
             .set("energy_backend", self.energy.label())
-            .set("workload_fingerprint", self.workload_fingerprint())
+            .set("workload_fingerprint", workload_fp)
             .set("alpha", self.alpha)
             .set("overheads", self.overheads)
             .set("target_intervals", self.target_intervals)
             .set("seed", self.seed)
     }
+}
+
+/// The row's **resume key**: a fingerprint over the spec's canonical JSON
+/// (which itself covers the controller, model, α, overheads, horizon,
+/// seed and energy backend), the materialized workload-trace fingerprint
+/// and the energy-backend label. Any change to the spec or its workload
+/// re-keys the row, so a resumed campaign can never serve a stale result.
+pub fn resume_key(spec: &ExperimentSpec, trace_fingerprint: &str) -> String {
+    let mut f = Fingerprint::new("triad-journal-key/v1");
+    f.str(&spec.to_json_with_fingerprint(trace_fingerprint).to_string_compact())
+        .str(trace_fingerprint)
+        .str(&spec.energy.label());
+    f.hex()
+}
+
+/// Why a spec's row was quarantined (or a journaled run could not start).
+///
+/// The campaign layer never panics on bad input: energy-backend and
+/// workload errors, injected faults and per-row panics all land here,
+/// either as [`QuarantinedRow`]s (the campaign completes every other row)
+/// or as this function-level error (journal IO).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// An energy backend could not be built (missing table file, unknown
+    /// technology node).
+    EnergyBackend {
+        /// The backend's configuration label.
+        label: String,
+        /// Builder error text.
+        reason: String,
+    },
+    /// A spec's workload program does not materialize.
+    Workload {
+        /// Spec name.
+        spec: String,
+        /// Materialization error text.
+        reason: String,
+    },
+    /// The spec's simulation (or its shared idle baseline) panicked; the
+    /// panic was caught and quarantined.
+    RowPanic {
+        /// Spec name.
+        spec: String,
+        /// Panic payload text.
+        message: String,
+    },
+    /// The spec's simulation reported a typed fault (today: an injected
+    /// failpoint error at `campaign.row`).
+    RowFault {
+        /// Spec name.
+        spec: String,
+        /// Fault text.
+        reason: String,
+    },
+    /// The row journal could not be opened or loaded.
+    Journal {
+        /// Journal path.
+        path: String,
+        /// IO error text.
+        reason: String,
+    },
+}
+
+impl CampaignError {
+    /// Stable machine-readable discriminant, used in error-row JSON.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            CampaignError::EnergyBackend { .. } => "energy_backend",
+            CampaignError::Workload { .. } => "workload",
+            CampaignError::RowPanic { .. } => "row_panic",
+            CampaignError::RowFault { .. } => "row_fault",
+            CampaignError::Journal { .. } => "journal",
+        }
+    }
+
+    /// Canonical JSON form: `{"kind": ..., "message": ...}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().set("kind", self.kind_label()).set("message", self.to_string())
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EnergyBackend { label, reason } => {
+                write!(f, "energy backend {label}: {reason}")
+            }
+            CampaignError::Workload { spec, reason } => {
+                write!(f, "spec {spec}: workload does not materialize: {reason}")
+            }
+            CampaignError::RowPanic { spec, message } => {
+                write!(f, "spec {spec}: simulation panicked: {message}")
+            }
+            CampaignError::RowFault { spec, reason } => {
+                write!(f, "spec {spec}: simulation fault: {reason}")
+            }
+            CampaignError::Journal { path, reason } => {
+                write!(f, "journal {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A spec whose row could not be produced: the campaign completed every
+/// other row and reports this one as a structured error row.
+#[derive(Debug, Clone)]
+pub struct QuarantinedRow {
+    /// The failing spec.
+    pub spec: ExperimentSpec,
+    /// What went wrong.
+    pub error: CampaignError,
+}
+
+impl QuarantinedRow {
+    /// Canonical JSON form: the spec plus `{"kind","message"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().set("spec", self.spec.to_json()).set("error", self.error.to_json())
+    }
+}
+
+/// Everything a fault-tolerant campaign run produces.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOutcome {
+    /// Completed rows, in spec order (quarantined specs omitted).
+    pub rows: Vec<CampaignRow>,
+    /// Specs that failed, in spec order.
+    pub quarantined: Vec<QuarantinedRow>,
+    /// Rows re-keyed from the journal (not re-simulated).
+    pub resumed: usize,
+    /// Rows actually simulated this run.
+    pub simulated: usize,
 }
 
 /// Memoization key of an idle-RM reference run: the workload-trace
@@ -313,6 +476,54 @@ impl CampaignRow {
             .set("savings", self.savings)
             .set("violation_rate", self.violation_rate)
     }
+
+    /// Rebuild a row from its journaled [`CampaignRow::to_json`] form and
+    /// the (key-verified) spec that produced it. Returns `None` on schema
+    /// drift — the caller re-simulates instead of trusting the record.
+    ///
+    /// Round-trip fidelity: every field `to_json` emits is restored
+    /// exactly (the canonical writer/parser pair round-trips floats
+    /// bit-identically; `null` restores the non-finite values the writer
+    /// serialized as `null`), so a resumed row re-serializes to the same
+    /// bytes as the uninterrupted run. `SimResult` fields that `to_json`
+    /// does not emit (`arrivals`, `departures`, `vacancy_energy_j`)
+    /// default to zero.
+    pub fn from_json(spec: ExperimentSpec, v: &Json) -> Option<CampaignRow> {
+        let f = |name: &str| -> Option<f64> {
+            match v.get(name)? {
+                Json::Num(x) => Some(*x),
+                Json::Int(i) => Some(*i as f64),
+                Json::Null => Some(f64::NAN),
+                _ => None,
+            }
+        };
+        let u = |name: &str| -> Option<u64> {
+            match v.get(name)? {
+                Json::Int(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        };
+        Some(CampaignRow {
+            spec,
+            result: SimResult {
+                total_energy_j: f("total_energy_j")?,
+                core_mem_energy_j: f("core_mem_energy_j")?,
+                uncore_energy_j: f("uncore_energy_j")?,
+                sim_time_s: f("sim_time_s")?,
+                rm_invocations: u("rm_invocations")?,
+                rm_ops: u("rm_ops")?,
+                qos_violations: u("qos_violations")?,
+                intervals_checked: u("intervals_checked")?,
+                mean_violation: f("mean_violation")?,
+                arrivals: 0,
+                departures: 0,
+                vacancy_energy_j: 0.0,
+            },
+            idle_energy_j: f("idle_energy_j")?,
+            savings: f("savings")?,
+            violation_rate: f("violation_rate")?,
+        })
+    }
 }
 
 /// A batch of experiment specs executed in parallel against one database.
@@ -352,89 +563,176 @@ impl Campaign {
     /// row order and every number in it are independent of the thread
     /// count.
     ///
-    /// Panics when a spec's energy backend cannot be built (missing table
-    /// file, unknown technology node) — `triad-bench` validates configs
-    /// before campaigns start.
+    /// Panics on the first quarantined spec (bad energy backend, bad
+    /// workload, row panic) — the pre-fault-tolerance contract. Use
+    /// [`Campaign::try_run`] or [`Campaign::run_journaled`] for the
+    /// quarantining paths.
     pub fn run(&self, db: &PhaseDb) -> Vec<CampaignRow> {
+        let outcome = self.try_run(db);
+        if let Some(q) = outcome.quarantined.first() {
+            panic!("campaign: {}", q.error);
+        }
+        outcome.rows
+    }
+
+    /// Execute every spec, quarantining failures instead of panicking:
+    /// bad specs (unmaterializable workload, unbuildable energy backend)
+    /// and rows whose simulation panics or faults become structured
+    /// [`QuarantinedRow`]s while every other row completes normally.
+    pub fn try_run(&self, db: &PhaseDb) -> CampaignOutcome {
+        self.execute(db, None)
+    }
+
+    /// [`Campaign::try_run`] with a durable row journal at `path`: every
+    /// completed row is appended (one `O_APPEND` line) as it finishes, and
+    /// with `resume` the journal's surviving records are validated, re-keyed
+    /// against this campaign's specs, and served without re-simulation —
+    /// producing rows byte-identical to an uninterrupted run.
+    ///
+    /// `resume = false` truncates any existing journal first. A missing
+    /// journal under `resume = true` simply starts fresh (nothing to
+    /// resume is not an error — it is the first run of the schedule).
+    pub fn run_journaled(
+        &self,
+        db: &PhaseDb,
+        path: &Path,
+        resume: bool,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        let journal_err = |e: std::io::Error| CampaignError::Journal {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        let loaded = if resume && path.exists() {
+            journal::load(path).map_err(journal_err)?
+        } else {
+            LoadedJournal::default()
+        };
+        let journal = RowJournal::open(path, !resume).map_err(journal_err)?;
+        Ok(self.execute(db, Some((&journal, &loaded.rows))))
+    }
+
+    /// The shared execution core behind [`Campaign::try_run`] and
+    /// [`Campaign::run_journaled`].
+    fn execute(
+        &self,
+        db: &PhaseDb,
+        journal: Option<(&RowJournal, &HashMap<String, Json>)>,
+    ) -> CampaignOutcome {
         // Build each distinct energy backend exactly once, up front: workers
         // share it via `Arc`, so a table file is read and parsed once per
         // campaign (and a file vanishing mid-campaign cannot fail a worker).
-        let mut backends: Vec<(EnergyBackendConfig, Arc<dyn EnergyBackend>)> = Vec::new();
+        // Build failures quarantine the specs that reference the backend.
+        type BuiltBackend = (EnergyBackendConfig, Result<Arc<dyn EnergyBackend>, String>);
+        let mut backends: Vec<BuiltBackend> = Vec::new();
         for spec in &self.specs {
             if !backends.iter().any(|(c, _)| c == &spec.energy) {
-                let built = spec
-                    .energy
-                    .build()
-                    .unwrap_or_else(|e| panic!("energy backend {}: {e}", spec.energy.label()));
-                backends.push((spec.energy.clone(), Arc::from(built)));
+                let built = spec.energy.build().map(Arc::from);
+                backends.push((spec.energy.clone(), built));
             }
         }
         let backend_for = |energy: &EnergyBackendConfig| -> Arc<dyn EnergyBackend> {
-            backends.iter().find(|(c, _)| c == energy).expect("pre-built above").1.clone()
+            let (_, built) = backends.iter().find(|(c, _)| c == energy).expect("pre-built above");
+            built.clone().expect("quarantined before simulation")
         };
 
-        // Materialize every spec's trace (and its fingerprint) exactly
-        // once: the baseline dedup, the idle runs and the spec runs all
-        // share them. The idle-RM reference is independent of controller,
-        // model, α and overheads (the RM is never invoked), so its
-        // memoization key is only the workload trace, the horizon and the
-        // energy backend the joules are counted under.
-        let traces: Vec<WorkloadTrace> = self
-            .specs
-            .iter()
-            .map(|s| {
+        // Materialize every spec's trace exactly once and decide each
+        // spec's fate: run it, serve it from the journal, or quarantine it.
+        let mut traces: Vec<Option<WorkloadTrace>> = Vec::with_capacity(self.specs.len());
+        let mut preps: Vec<Prep> = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let trace = {
                 let _span = TRACE_MATERIALIZE_SPAN.enter();
-                s.workload_trace()
-            })
-            .collect();
-        let keys: Vec<BaselineKey> = self
-            .specs
-            .iter()
-            .zip(&traces)
-            .map(|(s, t)| (t.fingerprint(), s.target_intervals, s.energy.clone()))
-            .collect();
+                spec.try_workload_trace()
+            };
+            let trace = match trace {
+                Ok(t) => t,
+                Err(reason) => {
+                    traces.push(None);
+                    preps.push(Prep::Quarantined(CampaignError::Workload {
+                        spec: spec.name.clone(),
+                        reason,
+                    }));
+                    continue;
+                }
+            };
+            let backend =
+                &backends.iter().find(|(c, _)| c == &spec.energy).expect("pre-built above").1;
+            if let Err(reason) = backend {
+                traces.push(Some(trace));
+                preps.push(Prep::Quarantined(CampaignError::EnergyBackend {
+                    label: spec.energy.label(),
+                    reason: reason.clone(),
+                }));
+                continue;
+            }
+            let key = resume_key(spec, &trace.fingerprint());
+            let prep = match journal.and_then(|(_, rows)| rows.get(&key)) {
+                Some(row_json) => match CampaignRow::from_json(spec.clone(), row_json) {
+                    Some(row) => Prep::Resumed(Box::new(row)),
+                    None => {
+                        // Schema drift in a digest-valid record: distrust
+                        // it and re-simulate.
+                        RESUME_REJECTED.incr();
+                        Prep::Run { key }
+                    }
+                },
+                None => Prep::Run { key },
+            };
+            traces.push(Some(trace));
+            preps.push(prep);
+        }
+
         // Deduplicate idle-baseline keys (with their traces) in first-seen
-        // order.
-        let mut keyed: Vec<(&BaselineKey, &WorkloadTrace)> = Vec::new();
-        for (key, trace) in keys.iter().zip(&traces) {
-            if !keyed.iter().any(|(k, _)| *k == key) {
-                keyed.push((key, trace));
+        // order, over the specs that will actually simulate. The idle-RM
+        // reference is independent of controller, model, α and overheads
+        // (the RM is never invoked), so its memoization key is only the
+        // workload trace, the horizon and the energy backend the joules
+        // are counted under.
+        let mut keyed: Vec<(BaselineKey, &WorkloadTrace)> = Vec::new();
+        for (i, prep) in preps.iter().enumerate() {
+            if let Prep::Run { .. } = prep {
+                let trace = traces[i].as_ref().expect("run specs keep their trace");
+                let spec = &self.specs[i];
+                let key = (trace.fingerprint(), spec.target_intervals, spec.energy.clone());
+                if !keyed.iter().any(|(k, _)| *k == key) {
+                    keyed.push((key, trace));
+                }
             }
         }
 
-        let idle_results = par::par_map(&keyed, self.threads, |(key, trace)| {
-            let _span = IDLE_BASELINE_SPAN.enter();
-            let (_, target, energy) = key;
-            let mut cfg = SimConfig::idle();
-            cfg.target_intervals = *target;
-            Simulator::with_backend(db, trace.n_cores, cfg, backend_for(energy)).run_trace(trace)
-        });
-        let baselines: HashMap<&BaselineKey, &SimResult> =
-            keyed.iter().map(|(k, _)| *k).zip(&idle_results).collect();
+        // A panicking baseline quarantines every spec that depends on it,
+        // not the whole campaign.
+        let idle_results: Vec<Result<SimResult, String>> =
+            par::par_map(&keyed, self.threads, |(key, trace)| {
+                let _span = IDLE_BASELINE_SPAN.enter();
+                let (_, target, energy) = key;
+                let backend = backend_for(energy);
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut cfg = SimConfig::idle();
+                    cfg.target_intervals = *target;
+                    Simulator::with_backend(db, trace.n_cores, cfg, backend).run_trace(trace)
+                }))
+                .map_err(panic_message)
+            });
+        let baselines: HashMap<&BaselineKey, &Result<SimResult, String>> =
+            keyed.iter().map(|(k, _)| k).zip(&idle_results).collect();
 
         ROWS.add(self.specs.len() as u64);
         let started = std::time::Instant::now();
-        par::par_map_indexed(&self.specs, self.threads, |i, spec| {
-            let idle = baselines[&keys[i]];
-            let result = if spec.rm.is_none() {
-                // The spec *is* its own baseline; reuse the memoized run.
-                (*idle).clone()
-            } else {
-                let _span = SIMULATE_SPAN.enter();
-                Simulator::with_backend(
-                    db,
-                    traces[i].n_cores,
-                    spec.sim_config(),
-                    backend_for(&spec.energy),
-                )
-                .run_trace(&traces[i])
-            };
-            let _qos = QOS_EVAL_SPAN.enter();
-            let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
-            let violation_rate = if result.intervals_checked > 0 {
-                result.qos_violations as f64 / result.intervals_checked as f64
-            } else {
-                0.0
+        let outcomes = par::par_map_indexed(&self.specs, self.threads, |i, spec| {
+            let outcome = match &preps[i] {
+                Prep::Quarantined(error) => RowOutcome::Quarantined(QuarantinedRow {
+                    spec: spec.clone(),
+                    error: error.clone(),
+                }),
+                Prep::Resumed(row) => {
+                    ROWS_RESUMED.incr();
+                    RowOutcome::Row((**row).clone())
+                }
+                Prep::Run { key } => {
+                    let trace = traces[i].as_ref().expect("run specs keep their trace");
+                    self.run_row(db, spec, trace, &baselines, &backend_for, key, journal)
+                }
             };
             if self.progress {
                 eprintln!(
@@ -445,14 +743,108 @@ impl Campaign {
                     started.elapsed().as_secs_f64()
                 );
             }
-            CampaignRow {
-                spec: spec.clone(),
-                idle_energy_j: idle.total_energy_j,
-                savings,
-                violation_rate,
-                result,
+            outcome
+        });
+
+        let mut result = CampaignOutcome::default();
+        for (outcome, prep) in outcomes.into_iter().zip(&preps) {
+            match outcome {
+                RowOutcome::Row(row) => {
+                    match prep {
+                        Prep::Resumed(_) => result.resumed += 1,
+                        _ => result.simulated += 1,
+                    }
+                    result.rows.push(row);
+                }
+                RowOutcome::Quarantined(q) => {
+                    ROWS_QUARANTINED.incr();
+                    result.quarantined.push(q);
+                }
             }
-        })
+        }
+        result
+    }
+
+    /// Simulate one spec inside its panic quarantine, journaling the
+    /// completed row.
+    #[allow(clippy::too_many_arguments)]
+    fn run_row(
+        &self,
+        db: &PhaseDb,
+        spec: &ExperimentSpec,
+        trace: &WorkloadTrace,
+        baselines: &HashMap<&BaselineKey, &Result<SimResult, String>>,
+        backend_for: &(dyn Fn(&EnergyBackendConfig) -> Arc<dyn EnergyBackend> + Sync),
+        key: &str,
+        journal: Option<(&RowJournal, &HashMap<String, Json>)>,
+    ) -> RowOutcome {
+        let bkey = (trace.fingerprint(), spec.target_intervals, spec.energy.clone());
+        let idle = match baselines[&bkey] {
+            Ok(idle) => idle,
+            Err(message) => {
+                return RowOutcome::Quarantined(QuarantinedRow {
+                    spec: spec.clone(),
+                    error: CampaignError::RowPanic {
+                        spec: spec.name.clone(),
+                        message: format!("idle baseline: {message}"),
+                    },
+                })
+            }
+        };
+        let simulated =
+            std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<SimResult, String> {
+                ROW_FP.check()?;
+                if spec.rm.is_none() {
+                    // The spec *is* its own baseline; reuse the memoized run.
+                    Ok(idle.clone())
+                } else {
+                    let _span = SIMULATE_SPAN.enter();
+                    Ok(Simulator::with_backend(
+                        db,
+                        trace.n_cores,
+                        spec.sim_config(),
+                        backend_for(&spec.energy),
+                    )
+                    .run_trace(trace))
+                }
+            }));
+        let result = match simulated {
+            Err(payload) => {
+                return RowOutcome::Quarantined(QuarantinedRow {
+                    spec: spec.clone(),
+                    error: CampaignError::RowPanic {
+                        spec: spec.name.clone(),
+                        message: panic_message(payload),
+                    },
+                })
+            }
+            Ok(Err(reason)) => {
+                return RowOutcome::Quarantined(QuarantinedRow {
+                    spec: spec.clone(),
+                    error: CampaignError::RowFault { spec: spec.name.clone(), reason },
+                })
+            }
+            Ok(Ok(result)) => result,
+        };
+        let _qos = QOS_EVAL_SPAN.enter();
+        let savings = if spec.rm.is_none() { 0.0 } else { result.savings_vs(idle) };
+        let violation_rate = if result.intervals_checked > 0 {
+            result.qos_violations as f64 / result.intervals_checked as f64
+        } else {
+            0.0
+        };
+        let row = CampaignRow {
+            spec: spec.clone(),
+            idle_energy_j: idle.total_energy_j,
+            savings,
+            violation_rate,
+            result,
+        };
+        ROWS_SIMULATED.incr();
+        if let Some((j, _)) = journal {
+            j.append(key, &row.to_json());
+        }
+        RowOutcome::Row(row)
     }
 
     /// The suite applications this campaign's specs reference, in suite
@@ -478,11 +870,76 @@ impl Campaign {
         self.run(&resolved.db)
     }
 
+    /// The fault-tolerant [`Campaign::run_cached`]: resolve the database
+    /// through the store, then [`Campaign::try_run`] (no journal) or
+    /// [`Campaign::run_journaled`] (journal path + resume flag).
+    pub fn run_cached_outcome(
+        &self,
+        store: &DbStore,
+        cfg: &DbConfig,
+        journal: Option<(&Path, bool)>,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        let resolved = {
+            let _span = DB_RESOLVE_SPAN.enter();
+            store.resolve(&self.required_apps(), cfg)
+        };
+        match journal {
+            None => Ok(self.try_run(&resolved.db)),
+            Some((path, resume)) => self.run_journaled(&resolved.db, path, resume),
+        }
+    }
+
     /// Canonical JSON document for a finished campaign.
     pub fn report(rows: &[CampaignRow]) -> Json {
         Json::obj()
             .set("schema", "triad-campaign/v1")
             .set("rows", Json::Arr(rows.iter().map(CampaignRow::to_json).collect()))
+    }
+
+    /// [`Campaign::report`] plus the quarantined error rows (key present
+    /// only when non-empty, so fully-successful reports keep their exact
+    /// pre-fault-tolerance bytes).
+    pub fn report_full(rows: &[CampaignRow], quarantined: &[QuarantinedRow]) -> Json {
+        let doc = Self::report(rows);
+        if quarantined.is_empty() {
+            doc
+        } else {
+            doc.set(
+                "quarantined",
+                Json::Arr(quarantined.iter().map(QuarantinedRow::to_json).collect()),
+            )
+        }
+    }
+}
+
+/// A spec's fate, decided in the prep phase.
+enum Prep {
+    /// Simulate, journaling the row under this resume key.
+    Run {
+        /// The row's resume key.
+        key: String,
+    },
+    /// Served from the journal without re-simulation.
+    Resumed(Box<CampaignRow>),
+    /// Known-bad before simulation (workload/backend errors).
+    Quarantined(CampaignError),
+}
+
+/// One spec's executed outcome.
+enum RowOutcome {
+    Row(CampaignRow),
+    Quarantined(QuarantinedRow),
+}
+
+/// Render a caught panic payload (`&str` or `String` from `panic!`) as
+/// text for the quarantine record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 

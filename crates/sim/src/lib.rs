@@ -23,7 +23,11 @@
 //!   expected magnitude and distribution over all phases × current ×
 //!   target settings, weighted by SimPoint phase weights;
 //! * [`campaign`] — declarative experiment specs executed in parallel with
-//!   shared, memoized idle baselines and canonical JSON reports;
+//!   shared, memoized idle baselines, canonical JSON reports, per-row
+//!   panic isolation and typed [`CampaignError`]s;
+//! * [`journal`] — the durable append-only row journal behind
+//!   [`Campaign::run_journaled`]: crash-safe resume re-keys completed
+//!   rows instead of re-simulating them;
 //! * [`experiments`] — campaign-based drivers that regenerate Fig. 2,
 //!   Fig. 6 and Fig. 9.
 
@@ -31,10 +35,11 @@ pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod finish;
+pub mod journal;
 pub mod perfect;
 pub mod qos_eval;
 
-pub use campaign::{Campaign, CampaignRow, ExperimentSpec};
+pub use campaign::{Campaign, CampaignError, CampaignOutcome, CampaignRow, ExperimentSpec};
 pub use engine::{SimConfig, SimModel, SimResult, Simulator};
 pub use perfect::PerfectModel;
 pub use qos_eval::{

@@ -18,8 +18,12 @@
 //!   builder, the basis of the content-addressed phase-database store.
 //! * [`mod@bench`] — a tiny wall-clock measurement harness for the
 //!   `harness = false` benches.
+//! * [`failpoint`] — deterministic fault injection at named sites
+//!   (`TRIAD_FAILPOINTS` or programmatic), inert at one relaxed load +
+//!   branch per site, the substrate of the crash-safety tests.
 
 pub mod bench;
+pub mod failpoint;
 pub mod hash;
 pub mod json;
 mod json_parse;

@@ -18,9 +18,15 @@
 use crate::scenario::{sample_mix, Scenario};
 use crate::trace::{EventKind, TraceEvent, WorkloadTrace};
 use triad_trace::{by_category, suite};
+use triad_util::failpoint::FailPoint;
 use triad_util::json::Json;
 use triad_util::rand::rngs::StdRng;
 use triad_util::rand::{RngExt, SeedableRng};
+
+/// Injected-fault site at the top of [`WorkloadSpec::materialize`] —
+/// exercises the campaign's workload-quarantine path without crafting an
+/// actually-invalid spec.
+pub static MATERIALIZE_FP: FailPoint = FailPoint::new("workload.materialize");
 
 /// One stage of a phased workload: a §IV-C mix held for a fixed window.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,6 +170,7 @@ impl WorkloadSpec {
     /// Expand the spec into its trace. Deterministic: the same spec always
     /// produces the same (validated) trace.
     pub fn materialize(&self) -> Result<WorkloadTrace, String> {
+        MATERIALIZE_FP.check()?;
         let trace = match self {
             WorkloadSpec::Static { apps } => WorkloadTrace::steady(apps),
             WorkloadSpec::Steady { n_cores, scenario, seed } => {
