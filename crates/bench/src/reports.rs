@@ -146,14 +146,15 @@ pub fn run_campaign(
     for q in &outcome.quarantined {
         eprintln!("campaign: quarantined {}", q.error);
     }
-    // Re-align completed rows with the input specs: both `rows` and
-    // `quarantined` are in-order subsequences of the spec list.
+    // Re-align completed rows with the input specs positionally: the
+    // outcome names the spec index of every quarantined entry, so the
+    // alignment survives duplicate specs (spec-equality matching would
+    // misassign the surviving duplicate's row).
     let mut aligned = Vec::with_capacity(campaign.specs.len());
     let mut row_it = outcome.rows.iter();
-    let mut quar_it = outcome.quarantined.iter().peekable();
-    for spec in &campaign.specs {
-        if quar_it.peek().is_some_and(|q| q.spec == *spec) {
-            quar_it.next();
+    let mut quar_it = outcome.quarantined_indices.iter().peekable();
+    for i in 0..campaign.specs.len() {
+        if quar_it.next_if_eq(&&i).is_some() {
             aligned.push(None);
         } else {
             aligned.push(row_it.next().cloned());

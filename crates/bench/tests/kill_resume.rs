@@ -15,8 +15,8 @@ fn db_cache() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/phasedb")
 }
 
-fn work_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("triad-kill-resume-{}", std::process::id()));
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("triad-kill-resume-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -49,9 +49,34 @@ fn read(path: &Path) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
+/// A churn invocation over the 2-app pool: one dynamic-workload spec
+/// whose presenter consumes the `SimResult` fields the report row JSON
+/// omits (arrivals, departures, vacancy energy).
+fn churn_bench(dir: &Path, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(dir)
+        .args([
+            "--experiment",
+            "churn",
+            "--apps",
+            "mcf,povray",
+            "--cores",
+            "2",
+            "--fast",
+            "--intervals",
+            "6",
+            "--threads",
+            "1",
+            "--db-cache",
+            db_cache().to_str().unwrap(),
+        ])
+        .args(extra);
+    cmd.output().expect("spawning triad-bench")
+}
+
 #[test]
 fn killed_runs_resume_to_byte_identical_reports() {
-    let dir = work_dir();
+    let dir = work_dir("sweep");
 
     // Uninterrupted baseline (no journal).
     let base = bench(&dir, &["--json", "base.json"], &[]);
@@ -134,6 +159,57 @@ fn killed_runs_resume_to_byte_identical_reports() {
         base_json,
         "post-quarantine resume must reconverge on the uninterrupted report"
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Churn leg: the preset's console table, sanity asserts and row JSON all
+/// consume `arrivals`/`vacancy_energy_j` — fields the report rows omit
+/// but the journal records carry. A run resumed wholly from its journal
+/// must restore them (a zeroed resume would trip the preset's
+/// nonzero-arrivals floor and change the row JSON).
+#[test]
+fn churn_resume_restores_the_fields_presenters_consume() {
+    let dir = work_dir("churn");
+
+    let base = churn_bench(&dir, &["--json", "base.json"]);
+    assert!(base.status.success(), "baseline failed: {}", String::from_utf8_lossy(&base.stderr));
+    let base_json = read(&dir.join("base.json"));
+
+    let journaled = churn_bench(&dir, &["--journal", "churn.jsonl", "--json", "run.json"]);
+    assert!(
+        journaled.status.success(),
+        "journaled run failed: {}",
+        String::from_utf8_lossy(&journaled.stderr)
+    );
+    assert_eq!(read(&dir.join("run.json")), base_json, "journaling must not change the report");
+
+    let resumed = churn_bench(
+        &dir,
+        &[
+            "--journal",
+            "churn.jsonl",
+            "--resume",
+            "--json",
+            "resumed.json",
+            "--telemetry",
+            "tel.json",
+        ],
+    );
+    assert!(
+        resumed.status.success(),
+        "churn resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        read(&dir.join("resumed.json")),
+        base_json,
+        "resumed churn report must be byte-identical to the uninterrupted run"
+    );
+    let tel = read(&dir.join("tel.json"));
+    assert!(tel.contains("\"campaign.rows_resumed\": 1"), "telemetry: {tel}");
+    // Zero-valued counters are omitted from the report: nothing simulated.
+    assert!(!tel.contains("campaign.rows_simulated"), "telemetry: {tel}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -402,6 +402,12 @@ pub struct CampaignOutcome {
     pub rows: Vec<CampaignRow>,
     /// Specs that failed, in spec order.
     pub quarantined: Vec<QuarantinedRow>,
+    /// Spec-list index of each `quarantined` entry (parallel to it) — the
+    /// positional alignment presenters need to pair `rows` back with
+    /// their input specs; matching by spec equality instead would
+    /// misalign when a spec list contains duplicates and only one copy
+    /// quarantines (exactly what a `once`-trigger failpoint produces).
+    pub quarantined_indices: Vec<usize>,
     /// Rows re-keyed from the journal (not re-simulated).
     pub resumed: usize,
     /// Rows actually simulated this run.
@@ -477,17 +483,31 @@ impl CampaignRow {
             .set("violation_rate", self.violation_rate)
     }
 
-    /// Rebuild a row from its journaled [`CampaignRow::to_json`] form and
-    /// the (key-verified) spec that produced it. Returns `None` on schema
-    /// drift — the caller re-simulates instead of trusting the record.
+    /// The journaled form: [`CampaignRow::to_json`] plus the `SimResult`
+    /// fields the report row omits (`arrivals`, `departures`,
+    /// `vacancy_energy_j`), which the churn/workload presenters consume.
+    /// Journal records carry this superset so a resumed row restores the
+    /// *complete* simulation outcome, while report serialization keeps
+    /// its exact historical bytes.
+    pub fn to_journal_json(&self) -> Json {
+        self.to_json()
+            .set("arrivals", self.result.arrivals)
+            .set("departures", self.result.departures)
+            .set("vacancy_energy_j", self.result.vacancy_energy_j)
+    }
+
+    /// Rebuild a row from its journaled [`CampaignRow::to_journal_json`]
+    /// form and the (key-verified) spec that produced it. Returns `None`
+    /// on schema drift (including pre-superset records missing the
+    /// journal-only fields) — the caller re-simulates instead of trusting
+    /// the record.
     ///
-    /// Round-trip fidelity: every field `to_json` emits is restored
-    /// exactly (the canonical writer/parser pair round-trips floats
+    /// Round-trip fidelity: every `SimResult` field is restored exactly
+    /// (the canonical writer/parser pair round-trips floats
     /// bit-identically; `null` restores the non-finite values the writer
-    /// serialized as `null`), so a resumed row re-serializes to the same
-    /// bytes as the uninterrupted run. `SimResult` fields that `to_json`
-    /// does not emit (`arrivals`, `departures`, `vacancy_energy_j`)
-    /// default to zero.
+    /// serialized as `null`), so a resumed row re-serializes — through
+    /// `to_json` *and* the presenters' workload row JSON — to the same
+    /// bytes as the uninterrupted run.
     pub fn from_json(spec: ExperimentSpec, v: &Json) -> Option<CampaignRow> {
         let f = |name: &str| -> Option<f64> {
             match v.get(name)? {
@@ -515,9 +535,9 @@ impl CampaignRow {
                 qos_violations: u("qos_violations")?,
                 intervals_checked: u("intervals_checked")?,
                 mean_violation: f("mean_violation")?,
-                arrivals: 0,
-                departures: 0,
-                vacancy_energy_j: 0.0,
+                arrivals: u("arrivals")?,
+                departures: u("departures")?,
+                vacancy_energy_j: f("vacancy_energy_j")?,
             },
             idle_energy_j: f("idle_energy_j")?,
             savings: f("savings")?,
@@ -747,7 +767,7 @@ impl Campaign {
         });
 
         let mut result = CampaignOutcome::default();
-        for (outcome, prep) in outcomes.into_iter().zip(&preps) {
+        for (i, (outcome, prep)) in outcomes.into_iter().zip(&preps).enumerate() {
             match outcome {
                 RowOutcome::Row(row) => {
                     match prep {
@@ -759,6 +779,7 @@ impl Campaign {
                 RowOutcome::Quarantined(q) => {
                     ROWS_QUARANTINED.incr();
                     result.quarantined.push(q);
+                    result.quarantined_indices.push(i);
                 }
             }
         }
@@ -842,7 +863,7 @@ impl Campaign {
         };
         ROWS_SIMULATED.incr();
         if let Some((j, _)) = journal {
-            j.append(key, &row.to_json());
+            j.append(key, &row.to_journal_json());
         }
         RowOutcome::Row(row)
     }

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use triad_telemetry::Counter;
 use triad_util::failpoint::FailPoint;
 use triad_util::hash::Fingerprint;
@@ -78,6 +79,12 @@ pub(crate) fn backoff(attempt: u32) {
 pub struct RowJournal {
     path: PathBuf,
     file: File,
+    /// A write failed, so the file tail may hold a partial, unterminated
+    /// line (e.g. ENOSPC mid-`write_all`). The next write leads with a
+    /// `'\n'` that closes any such prefix off as its own line — dropped
+    /// on load as corrupt (or skipped when empty) — so later records
+    /// still parse instead of gluing onto the fragment.
+    dirty: AtomicBool,
 }
 
 impl RowJournal {
@@ -95,7 +102,7 @@ impl RowJournal {
             File::create(path)?;
         }
         let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(RowJournal { path: path.to_path_buf(), file })
+        Ok(RowJournal { path: path.to_path_buf(), file, dirty: AtomicBool::new(false) })
     }
 
     /// The journal's path.
@@ -119,13 +126,21 @@ impl RowJournal {
             .set("row", row.clone())
             .to_string_compact();
         line.push('\n');
+        // Workers share this O_APPEND file, so a partial prefix left by a
+        // failed write cannot be truncated away (that could clobber a
+        // concurrent worker's bytes). Instead, any write after a failure
+        // — the retry below, or the next row's append after an exhausted
+        // retry budget — leads with a '\n' that terminates the fragment
+        // as a corrupt (dropped-on-load) line of its own.
+        let terminated = format!("\n{line}");
         let mut last_err: Option<std::io::Error> = None;
         for attempt in 0..WRITE_ATTEMPTS {
             if attempt > 0 {
                 APPEND_RETRIES.incr();
                 backoff(attempt - 1);
             }
-            match APPEND_FP.check_io().and_then(|()| (&self.file).write_all(line.as_bytes())) {
+            let buf = if self.dirty.swap(false, Ordering::Relaxed) { &terminated } else { &line };
+            match APPEND_FP.check_io().and_then(|()| (&self.file).write_all(buf.as_bytes())) {
                 Ok(()) => {
                     RECORDS_APPENDED.incr();
                     // Crash site for kill-and-resume tests: the record
@@ -134,7 +149,10 @@ impl RowJournal {
                     let _ = APPENDED_FP.fire();
                     return;
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    self.dirty.store(true, Ordering::Relaxed);
+                    last_err = Some(e);
+                }
             }
         }
         APPEND_FAILED.incr();
@@ -164,10 +182,14 @@ pub struct LoadedJournal {
 /// (if any) so subsequent appends continue a clean file.
 ///
 /// Only the **final** line may legitimately be torn — records are single
-/// `O_APPEND` writes, so a crash cuts the tail, never the middle. An
-/// interior line that fails to parse, names a different schema, or does
-/// not match its digest is corruption: the record is dropped (and
-/// counted), the rest of the file stays usable.
+/// `O_APPEND` writes, so a crash cuts the tail, never the middle. Any
+/// final line without a trailing newline counts as torn, *even one that
+/// parses and passes its digest* (a partial write can end exactly at the
+/// closing brace; a successful append always ends in `'\n'`), so the file
+/// is newline-terminated before this run's appends. An interior line that
+/// fails to parse, names a different schema, or does not match its digest
+/// is corruption: the record is dropped (and counted), the rest of the
+/// file stays usable.
 pub fn load(path: &Path) -> std::io::Result<LoadedJournal> {
     let text = std::fs::read_to_string(path)?;
     let mut loaded = LoadedJournal::default();
@@ -188,8 +210,18 @@ pub fn load(path: &Path) -> std::io::Result<LoadedJournal> {
         }
     }
 
-    let last = pieces.len().saturating_sub(1);
-    for (i, (start, line, complete)) in pieces.iter().enumerate() {
+    for (start, line, complete) in &pieces {
+        if !*complete {
+            // The unterminated final line of a killed writer is torn even
+            // when it parses and passes its digest: a successful append
+            // always ends in '\n', so at minimum the newline is missing.
+            // Left in place, the next O_APPEND would glue its record onto
+            // this line and a later load would drop both. Truncate it
+            // away; the row (if any) simply re-simulates.
+            loaded.torn_truncated = true;
+            TORN_TRUNCATED.incr();
+            continue;
+        }
         if line.is_empty() {
             good_bytes = start + 1;
             continue;
@@ -212,17 +244,12 @@ pub fn load(path: &Path) -> std::io::Result<LoadedJournal> {
                         slot.insert(row);
                     }
                 }
-                good_bytes = start + line.len() + usize::from(*complete);
-            }
-            None if i == last && !*complete => {
-                // The torn tail of a killed writer: truncate it away.
-                loaded.torn_truncated = true;
-                TORN_TRUNCATED.incr();
+                good_bytes = start + line.len() + 1;
             }
             None => {
                 loaded.corrupt_dropped += 1;
                 CORRUPT_DROPPED.incr();
-                good_bytes = start + line.len() + usize::from(*complete);
+                good_bytes = start + line.len() + 1;
             }
         }
     }
@@ -312,6 +339,36 @@ mod tests {
         RowJournal::open(&path, false).unwrap().append("k3", &row(3));
         let reloaded = load(&path).unwrap();
         assert!(!reloaded.torn_truncated);
+        assert_eq!(reloaded.rows.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parseable_unterminated_tail_is_torn_and_truncated() {
+        let path = temp_path("noeol");
+        let _ = std::fs::remove_file(&path);
+        let j = RowJournal::open(&path, true).unwrap();
+        j.append("k1", &row(1));
+        j.append("k2", &row(2));
+        drop(j);
+        // A partial write can end exactly at the closing brace: the line
+        // parses and passes its digest, but the newline is missing.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+
+        let loaded = load(&path).unwrap();
+        assert!(loaded.torn_truncated, "a missing final newline is a torn tail");
+        assert_eq!(loaded.rows.len(), 1, "the unterminated record is not trusted");
+        assert!(!loaded.rows.contains_key("k2"));
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert!(repaired.ends_with('\n'), "load must leave the file newline-terminated");
+
+        // The next O_APPEND therefore starts a fresh line instead of
+        // gluing onto the old record's bytes.
+        RowJournal::open(&path, false).unwrap().append("k2", &row(2));
+        let reloaded = load(&path).unwrap();
+        assert!(!reloaded.torn_truncated);
+        assert_eq!(reloaded.corrupt_dropped, 0);
         assert_eq!(reloaded.rows.len(), 2);
         let _ = std::fs::remove_file(&path);
     }

@@ -199,6 +199,76 @@ fn a_torn_tail_resimulates_only_the_torn_row() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The journal record carries the `SimResult` fields the report row JSON
+/// omits (`arrivals`, `departures`, `vacancy_energy_j`): the churn and
+/// workload presenters consume them, so a resumed row must restore them
+/// exactly rather than zeroing them.
+#[test]
+fn resumed_rows_restore_the_journal_only_simresult_fields() {
+    let _g = locked();
+    let db = small_db();
+    let path = temp_journal("churn-resume");
+    let _ = std::fs::remove_file(&path);
+    let churn = triad_workload::WorkloadSpec::Churn {
+        n_cores: 2,
+        seed: 7,
+        period: 3,
+        horizon: 12,
+        scenario: None,
+        pool: vec!["mcf".into(), "povray".into()],
+    };
+    let spec = ExperimentSpec::for_workload_spec("churn/rm3", churn)
+        .unwrap()
+        .perfect()
+        .target_intervals(6);
+    let campaign = Campaign::new(vec![spec]).threads(1);
+    let fresh = campaign.run_journaled(&db, &path, false).unwrap();
+    assert_eq!(fresh.rows.len(), 1);
+    assert!(fresh.rows[0].result.arrivals > 2, "churn must replace apps mid-run");
+
+    let resumed = campaign.run_journaled(&db, &path, true).unwrap();
+    assert_eq!((resumed.simulated, resumed.resumed), (0, 1));
+    let (a, b) = (&fresh.rows[0].result, &resumed.rows[0].result);
+    assert_eq!((a.arrivals, a.departures), (b.arrivals, b.departures));
+    assert_eq!(a.vacancy_energy_j.to_bits(), b.vacancy_energy_j.to_bits());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A transient write fault mid-append may leave a partial, unterminated
+/// prefix in the journal; the retry (and any later append after an
+/// exhausted retry budget) must lead with a newline so the next record
+/// never glues onto the fragment and gets dropped with it.
+#[test]
+fn append_faults_never_corrupt_the_following_record() {
+    let _g = locked();
+    let path = temp_journal("retry");
+    let _ = std::fs::remove_file(&path);
+    let row = |i: i64| triad_util::json::Json::obj().set("i", i);
+    let j = triad_sim::journal::RowJournal::open(&path, true).unwrap();
+    j.append("k1", &row(1));
+
+    // One transient fault: the retry lands the record intact.
+    failpoint::configure("journal.append", Trigger::Once, FaultKind::Error);
+    j.append("k2", &row(2));
+
+    // A fault outlasting the whole retry budget loses its record; the
+    // *next* append must still start on a fresh line.
+    failpoint::configure("journal.append", Trigger::Always, FaultKind::Error);
+    j.append("k3", &row(3));
+    failpoint::clear_all();
+    j.append("k4", &row(4));
+    drop(j);
+
+    let loaded = triad_sim::journal::load(&path).unwrap();
+    assert_eq!(loaded.corrupt_dropped, 0, "no record may merge with a failed write");
+    assert_eq!(loaded.rows.len(), 3);
+    for k in ["k1", "k2", "k4"] {
+        assert!(loaded.rows.contains_key(k), "{k} must survive");
+    }
+    assert!(!loaded.rows.contains_key("k3"), "the exhausted-budget append stays lost");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A stale record under a matching key cannot be replayed into the wrong
 /// campaign: the resume key covers the spec's canonical JSON, so editing
 /// the spec invalidates the journal naturally (different key, full
